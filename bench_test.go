@@ -1,0 +1,271 @@
+// Benchmarks that regenerate every table and figure of the paper
+// (BenchmarkFig4 ... BenchmarkAdaptStats run the corresponding
+// experiment on a reduced benchmark subset; pass -wlbench.full to use
+// all 23 workloads), plus microbenchmarks of the core structures and
+// ablation benches for the design choices DESIGN.md calls out.
+package wlcache_test
+
+import (
+	"flag"
+	"testing"
+
+	"wlcache"
+	"wlcache/internal/core"
+	"wlcache/internal/expt"
+	"wlcache/internal/isa"
+	"wlcache/internal/mem"
+	"wlcache/internal/power"
+	"wlcache/internal/sim"
+)
+
+var fullSuite = flag.Bool("wlbench.full", false, "run figure benches on all 23 workloads")
+
+func benchCtx() expt.Context {
+	if *fullSuite {
+		return expt.Context{}
+	}
+	return expt.Context{Workloads: []string{"adpcmencode", "sha", "qsort", "susanedges"}}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := expt.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	ctx := benchCtx()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one bench per paper table/figure ---
+
+func BenchmarkTable1(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)      { benchExperiment(b, "table2") }
+func BenchmarkHWCost(b *testing.B)      { benchExperiment(b, "hwcost") }
+func BenchmarkFig4(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)        { benchExperiment(b, "fig7") }
+func BenchmarkFig8a(b *testing.B)       { benchExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B)       { benchExperiment(b, "fig8b") }
+func BenchmarkFig9(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10a(b *testing.B)      { benchExperiment(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B)      { benchExperiment(b, "fig10b") }
+func BenchmarkFig11(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13a(b *testing.B)      { benchExperiment(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B)      { benchExperiment(b, "fig13b") }
+func BenchmarkAdaptStats(b *testing.B)  { benchExperiment(b, "adaptstats") }
+func BenchmarkSec33(b *testing.B)       { benchExperiment(b, "sec33") }
+func BenchmarkNVSRAMVars(b *testing.B)  { benchExperiment(b, "nvsramvariants") }
+func BenchmarkICacheModel(b *testing.B) { benchExperiment(b, "icache") }
+func BenchmarkRelatedWork(b *testing.B) { benchExperiment(b, "related") }
+
+// --- microbenchmarks of the core structures ---
+
+// BenchmarkWLCacheHit measures the store-hit fast path of the design
+// model (simulator overhead excluded).
+func BenchmarkWLCacheHit(b *testing.B) {
+	nvm := wlcache.NewNVM()
+	c := wlcache.NewWLCache(wlcache.DefaultCacheConfig(), nvm)
+	now := int64(0)
+	_, now, _ = c.Access(now, isa.OpStore, 0x1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, done, _ := c.Access(now, isa.OpStore, 0x1000, uint32(i))
+		now = done
+	}
+}
+
+// BenchmarkWLCacheMissEvict measures the miss+evict slow path.
+func BenchmarkWLCacheMissEvict(b *testing.B) {
+	nvm := wlcache.NewNVM()
+	c := wlcache.NewWLCache(wlcache.DefaultCacheConfig(), nvm)
+	now := int64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint32(0x1000 + (i%4096)*64) // sweep lines, constant conflict
+		_, done, _ := c.Access(now, isa.OpStore, addr, uint32(i))
+		now = done
+	}
+}
+
+// BenchmarkWLCacheCheckpoint measures a full JIT checkpoint with a
+// saturated DirtyQueue.
+func BenchmarkWLCacheCheckpoint(b *testing.B) {
+	nvm := wlcache.NewNVM()
+	cfg := wlcache.DefaultCacheConfig()
+	cfg.Adaptive.Mode = core.AdaptOff
+	c := wlcache.NewWLCache(cfg, nvm)
+	b.ReportAllocs()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 6; j++ {
+			_, done, _ := c.Access(now, isa.OpStore, uint32(0x1000+j*64), uint32(i))
+			now = done
+		}
+		done, _ := c.Checkpoint(now)
+		now, _ = c.Restore(done)
+	}
+}
+
+// BenchmarkSimulatorThroughput measures end-to-end simulated
+// instructions per second of the full stack under power failures.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nvm := wlcache.NewNVM()
+		c := wlcache.NewWLCache(wlcache.DefaultCacheConfig(), nvm)
+		cfg := wlcache.DefaultSimConfig()
+		cfg.Trace = wlcache.Trace(wlcache.Trace1)
+		s, err := wlcache.NewSimulator(cfg, c, nvm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run("bench", func(m wlcache.Machine) uint32 {
+			h := uint32(0)
+			for j := 0; j < 50000; j++ {
+				a := uint32(0x1000 + (j%2000)*4)
+				m.Store32(a, uint32(j))
+				h ^= m.Load32(a)
+				m.Compute(8)
+			}
+			return h
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Instructions), "sim-instrs/op")
+	}
+}
+
+// BenchmarkTraceIntegrate measures power-trace integration.
+func BenchmarkTraceIntegrate(b *testing.B) {
+	tr := power.Get(power.Trace1)
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += tr.Integrate(int64(i)*1000, int64(i)*1000+100_000)
+	}
+	_ = acc
+}
+
+// BenchmarkNVMLineWrite measures the memory model.
+func BenchmarkNVMLineWrite(b *testing.B) {
+	nvm := mem.NewNVM(mem.DefaultNVMParams())
+	line := make([]uint32, 16)
+	b.ReportAllocs()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		done, _ := nvm.WriteLine(now, uint32((i%65536)*64), line)
+		now = done
+	}
+}
+
+// --- ablation benches (design-choice sensitivity) ---
+
+// runOnce executes one (design, workload, trace) cell for ablations.
+func runOnce(b *testing.B, kind expt.Kind, opts expt.Options, cfgMut func(*sim.Config)) int64 {
+	b.Helper()
+	cfg := sim.DefaultConfig()
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	res, err := expt.Run(kind, opts, "sha", 1, power.Trace1, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.ExecTime
+}
+
+// BenchmarkAblationWaterlineGap sweeps the maxline-waterline gap (the
+// ILP window, §3.1): gap 1 is the paper default.
+func BenchmarkAblationWaterlineGap(b *testing.B) {
+	for _, gap := range []int{1, 2, 3, 5} {
+		gap := gap
+		b.Run(map[bool]string{true: "gap1-default", false: "gap" + string(rune('0'+gap))}[gap == 1], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nvm := wlcache.NewNVM()
+				cfg := wlcache.DefaultCacheConfig()
+				cfg.Maxline = 6
+				cfg.Waterline = 6 - gap
+				if cfg.Waterline < 1 {
+					cfg.Waterline = 1
+				}
+				cfg.Adaptive.Mode = core.AdaptOff
+				c := wlcache.NewWLCache(cfg, nvm)
+				simCfg := wlcache.DefaultSimConfig()
+				simCfg.Trace = wlcache.Trace(wlcache.Trace1)
+				s, err := wlcache.NewSimulator(simCfg, c, nvm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w, _ := wlcache.WorkloadByName("sha")
+				res, err := s.Run(w.Name, func(m wlcache.Machine) uint32 { return w.Run(m, 1) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Seconds()*1e3, "exec-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDQPolicy compares FIFO and LRU DirtyQueue cleaning.
+func BenchmarkAblationDQPolicy(b *testing.B) {
+	for _, pol := range []core.DQPolicy{core.DQFIFO, core.DQLRU} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := runOnce(b, expt.KindWL, expt.Options{DQPolicy: pol}, nil)
+				b.ReportMetric(float64(t)/1e9, "exec-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCheckpointMargin sweeps the reserve margin.
+func BenchmarkAblationCheckpointMargin(b *testing.B) {
+	for _, m := range []float64{1.0, 1.5, 2.0} {
+		m := m
+		b.Run(map[float64]string{1.0: "m1.0", 1.5: "m1.5", 2.0: "m2.0"}[m], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := runOnce(b, expt.KindWL, expt.Options{}, func(c *sim.Config) { c.CheckpointMargin = m })
+				b.ReportMetric(float64(t)/1e9, "exec-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSoftwareJIT compares NVFF-based JIT checkpointing
+// with QuickRecall-style software checkpointing (§2.1).
+func BenchmarkAblationSoftwareJIT(b *testing.B) {
+	for _, sw := range []bool{false, true} {
+		sw := sw
+		b.Run(map[bool]string{false: "nvff", true: "software"}[sw], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := runOnce(b, expt.KindWL, expt.Options{SoftwareJIT: sw}, nil)
+				b.ReportMetric(float64(t)/1e9, "exec-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDQCap sweeps the DirtyQueue hardware size.
+func BenchmarkAblationDQCap(b *testing.B) {
+	for _, cap := range []int{6, 8, 12, 16} {
+		cap := cap
+		b.Run(map[int]string{6: "dq6", 8: "dq8-default", 12: "dq12", 16: "dq16"}[cap], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := runOnce(b, expt.KindWL, expt.Options{DQCap: cap, Maxline: 6}, nil)
+				b.ReportMetric(float64(t)/1e9, "exec-ms")
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+// Command wlbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	wlbench -experiment fig4            # one experiment
+//	wlbench -experiment all             # everything, in paper order
+//	wlbench -list                       # show available experiments
+//	wlbench -experiment fig5 -workloads sha,qsort -scale 2
+//	wlbench -experiment fig4 -out dir   # also save the output to dir/fig4.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"wlcache/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wlbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI; factored out of main for testing.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wlbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		experiment = fs.String("experiment", "", "experiment id (see -list), or 'all'")
+		list       = fs.Bool("list", false, "list available experiments")
+		workloads  = fs.String("workloads", "", "comma-separated benchmark subset (default: all 23)")
+		scale      = fs.Int("scale", 1, "workload input-size multiplier")
+		parallel   = fs.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+		check      = fs.Bool("check", false, "enable expensive correctness invariants")
+		outDir     = fs.String("out", "", "also write each experiment's output to <out>/<id>.txt")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list || *experiment == "" {
+		fmt.Fprintln(stdout, "Available experiments (wlbench -experiment <id>):")
+		for _, e := range expt.Experiments() {
+			fmt.Fprintf(stdout, "  %-15s %s\n", e.ID, e.Title)
+		}
+		fmt.Fprintln(stdout, "  all             run everything in paper order")
+		if *experiment == "" && !*list {
+			return fmt.Errorf("no experiment selected")
+		}
+		return nil
+	}
+
+	ctx := expt.Context{Scale: *scale, Parallelism: *parallel, CheckInvariants: *check}
+	if *workloads != "" {
+		ctx.Workloads = strings.Split(*workloads, ",")
+	}
+
+	var todo []expt.Experiment
+	if *experiment == "all" {
+		todo = expt.Experiments()
+	} else {
+		e, ok := expt.ByID(*experiment)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; try -list", *experiment)
+		}
+		todo = []expt.Experiment{e}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		out, err := e.Run(ctx)
+		if err != nil {
+			return fmt.Errorf("%s failed: %w", e.ID, err)
+		}
+		fmt.Fprintf(stdout, "==== %s: %s ====\n\n%s\n(elapsed %.1fs)\n\n", e.ID, e.Title, out, time.Since(start).Seconds())
+		if *outDir != "" {
+			if err := os.WriteFile(filepath.Join(*outDir, e.ID+".txt"), []byte(out), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig4", "fig13b", "hwcost", "sec33", "all"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestNoExperimentIsError(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Fatal("empty invocation should fail after printing the list")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "bogus"}, &b); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperimentWithOutDir(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	err := run([]string{"-experiment", "table2", "-out", dir}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Table 2") {
+		t.Fatalf("missing experiment output:\n%s", b.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Vbackup") {
+		t.Fatal("saved file incomplete")
+	}
+}
+
+func TestRunExperimentOnSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var b strings.Builder
+	err := run([]string{"-experiment", "fig7", "-workloads", "sha,qsort"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "sha") || !strings.Contains(b.String(), "gmean") {
+		t.Fatalf("fig7 output incomplete:\n%s", b.String())
+	}
+}

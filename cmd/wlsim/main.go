@@ -1,0 +1,71 @@
+// Command wlsim runs one benchmark on one cache design under one
+// power trace and prints the full result.
+//
+// Usage:
+//
+//	wlsim -design wl -workload sha -trace tr1
+//	wlsim -design nvsram -workload qsort -trace none -scale 4
+//	wlsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wlcache/internal/expt"
+	"wlcache/internal/power"
+	"wlcache/internal/sim"
+	"wlcache/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wlsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI; factored out of main for testing.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wlsim", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		design  = fs.String("design", "wl", "design kind: nocache, vcache-wt, wt-buffer, nvcache-wb, nvsram, nvsram-full, nvsram-practical, replaycache, wl, wl-fixed, wl-dyn")
+		wl      = fs.String("workload", "sha", "benchmark name (see -list)")
+		trace   = fs.String("trace", "tr1", "power source: none, tr1, tr2, tr3, solar, thermal")
+		scale   = fs.Int("scale", 1, "input-size multiplier")
+		maxline = fs.Int("maxline", 0, "override WL-Cache maxline (0 = default 6)")
+		check   = fs.Bool("check", true, "verify crash-consistency invariants")
+		asJSON  = fs.Bool("json", false, "emit the result as JSON")
+		list    = fs.Bool("list", false, "list benchmarks and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "Benchmarks:")
+		for _, w := range workload.All() {
+			fmt.Fprintf(stdout, "  %-15s (%s)\n", w.Name, w.Suite)
+		}
+		return nil
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.CheckInvariants = *check
+	opts := expt.Options{Maxline: *maxline}
+	res, err := expt.Run(expt.Kind(*design), opts, *wl, *scale, power.Source(*trace), cfg)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Fprint(stdout, res.String())
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestListBenchmarks(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"adpcmdecode", "rijndael_e", "MediaBench", "MiBench"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunOneSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	var b strings.Builder
+	err := run([]string{"-design", "wl", "-workload", "basicmath", "-trace", "tr1"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"exec time", "outages", "checksum"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	var b strings.Builder
+	err := run([]string{"-design", "nvsram", "-workload", "basicmath", "-trace", "none", "-json"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &res); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	for _, key := range []string{"Design", "ExecTime", "Instructions", "Checksum"} {
+		if _, ok := res[key]; !ok {
+			t.Fatalf("JSON missing %q", key)
+		}
+	}
+}
+
+func TestUnknownWorkloadFails(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-workload", "bogus"}, &b); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestUnknownDesignPanicsAsError(t *testing.T) {
+	defer func() { recover() }() // NewDesign panics on config bugs
+	var b strings.Builder
+	_ = run([]string{"-design", "bogus", "-workload", "sha", "-trace", "none"}, &b)
+}

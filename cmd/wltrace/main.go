@@ -1,0 +1,135 @@
+// Command wltrace inspects the built-in power traces and exports them
+// as CSV so recorded traces can be compared or substituted.
+//
+// Usage:
+//
+//	wltrace -trace tr1                          # statistics
+//	wltrace -trace tr2 -csv tr2.csv             # export
+//	wltrace -load mytrace.csv                   # statistics of an external CSV
+//	wltrace -gen "mean=8e-3,vol=0.9,dead=0.2"   # synthesize a custom RF trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"wlcache/internal/power"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wltrace:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI; factored out of main for testing.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wltrace", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		src  = fs.String("trace", "tr1", "built-in source: tr1, tr2, tr3, solar, thermal")
+		csv  = fs.String("csv", "", "write the trace to this CSV file")
+		load = fs.String("load", "", "analyze an external CSV trace instead")
+		gen  = fs.String("gen", "", `synthesize a custom RF trace: "mean=10e-3,vol=0.5,dead=0.1,seed=7"`)
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tr *power.Trace
+	switch {
+	case *gen != "":
+		t, err := genTrace(*gen)
+		if err != nil {
+			return err
+		}
+		tr = t
+	case *load != "":
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		t, err := power.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		tr = t
+	default:
+		known := false
+		for _, s := range power.Sources() {
+			if s == power.Source(*src) {
+				known = true
+			}
+		}
+		if !known {
+			return fmt.Errorf("source %q has no trace", *src)
+		}
+		tr = power.Get(power.Source(*src))
+	}
+
+	mean := tr.Mean()
+	peak, dead := 0.0, 0
+	for _, p := range tr.Samples {
+		if p > peak {
+			peak = p
+		}
+		if p < 0.1*mean {
+			dead++
+		}
+	}
+	fmt.Fprintf(stdout, "trace %s: %d samples, %.1f us step, %.3f s loop\n",
+		tr.Name, len(tr.Samples), float64(tr.Step)/1e6, float64(tr.Duration())/1e12)
+	fmt.Fprintf(stdout, "  mean power %.2f mW, peak %.2f mW, dead (<10%% of mean) %.1f%%\n",
+		mean*1e3, peak*1e3, 100*float64(dead)/float64(len(tr.Samples)))
+
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  wrote %s\n", *csv)
+	}
+	return nil
+}
+
+// genTrace parses "key=value,..." synthesis parameters.
+func genTrace(spec string) (*power.Trace, error) {
+	mean, vol, dead := 10e-3, 0.5, 0.1
+	seed := int64(7)
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -gen field %q", kv)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -gen value %q: %w", kv, err)
+		}
+		switch k {
+		case "mean":
+			mean = f
+		case "vol":
+			vol = f
+		case "dead":
+			dead = f
+		case "seed":
+			seed = int64(f)
+		default:
+			return nil, fmt.Errorf("unknown -gen key %q", k)
+		}
+	}
+	return power.SynthesizeRF("custom", seed, mean, vol, dead), nil
+}

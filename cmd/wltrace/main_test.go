@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinStats(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-trace", "tr3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "trace tr3") || !strings.Contains(b.String(), "mean power") {
+		t.Fatalf("stats missing:\n%s", b.String())
+	}
+}
+
+func TestUnknownSource(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-trace", "bogus"}, &b); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestExportAndReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tr1.csv")
+	var b strings.Builder
+	if err := run([]string{"-trace", "tr1", "-csv", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	// Round trip: the exported file must analyze identically.
+	var b2 strings.Builder
+	if err := run([]string{"-load", path}, &b2); err != nil {
+		t.Fatal(err)
+	}
+	wantMean := extractLine(t, b.String(), "mean power")
+	gotMean := extractLine(t, b2.String(), "mean power")
+	if wantMean != gotMean {
+		t.Fatalf("round trip changed the statistics: %q vs %q", wantMean, gotMean)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-load", "/nonexistent/trace.csv"}, &b); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestGenCustom(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-gen", "mean=5e-3,vol=0.3,dead=0.05,seed=3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "trace custom") {
+		t.Fatalf("custom trace not generated:\n%s", b.String())
+	}
+}
+
+func TestGenBadSpecs(t *testing.T) {
+	for _, spec := range []string{"nope", "mean=abc", "unknown=1"} {
+		var b strings.Builder
+		if err := run([]string{"-gen", spec}, &b); err == nil {
+			t.Errorf("bad -gen spec %q accepted", spec)
+		}
+	}
+}
+
+func extractLine(t *testing.T, s, substr string) string {
+	t.Helper()
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			return line
+		}
+	}
+	t.Fatalf("no line containing %q in %q", substr, s)
+	return ""
+}

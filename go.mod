@@ -1,0 +1,3 @@
+module wlcache
+
+go 1.22

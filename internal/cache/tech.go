@@ -1,0 +1,84 @@
+package cache
+
+import (
+	"fmt"
+
+	"wlcache/internal/mem"
+)
+
+// Tech holds the per-technology timing/energy parameters of a cache
+// array plus the bookkeeping overhead of its replacement policy. Times
+// are picoseconds, energies joules, leakage watts.
+type Tech struct {
+	HitLatency   int64 // data access on a hit (read)
+	WriteLatency int64 // data update on a write hit
+	ProbeLatency int64 // tag check on a miss
+
+	ReadEnergy  float64 // per hit read
+	WriteEnergy float64 // per word write
+	ProbeEnergy float64 // per miss probe
+	Leakage     float64 // watts while powered
+
+	// ReplacementEnergy is the per-access bookkeeping energy of the
+	// replacement policy (LRU tracks recency on every access and is
+	// costlier than FIFO; §6.5).
+	ReplacementEnergy map[ReplacementPolicy]float64
+}
+
+// SRAMTech returns the Table 2 volatile SRAM L1 parameters.
+func SRAMTech() Tech {
+	return Tech{
+		HitLatency:   300, // 0.3 ns
+		WriteLatency: 300,
+		ProbeLatency: 100, // 0.1 ns
+		ReadEnergy:   10e-12,
+		WriteEnergy:  12e-12,
+		ProbeEnergy:  4e-12,
+		Leakage:      0.3e-3,
+		ReplacementEnergy: map[ReplacementPolicy]float64{
+			LRU:  2e-12,
+			FIFO: 0.5e-12,
+		},
+	}
+}
+
+// NVRAMTech returns the Table 2 non-volatile cache parameters
+// (NVCache-WB): reads at 1.6 ns, but writes pay the ReRAM cell write.
+func NVRAMTech() Tech {
+	return Tech{
+		HitLatency:   4000,  // 4 ns array read
+		WriteLatency: 40000, // 40 ns cell write
+		ProbeLatency: 3000,  // 3 ns
+		ReadEnergy:   100e-12,
+		WriteEnergy:  1000e-12,
+		ProbeEnergy:  75e-12,
+		Leakage:      1.1e-3,
+		ReplacementEnergy: map[ReplacementPolicy]float64{
+			LRU:  2e-12,
+			FIFO: 0.5e-12,
+		},
+	}
+}
+
+// DurableEqual verifies whole-system persistence: the durable view of
+// memory (the NVM image, optionally overlaid with the contents of a
+// cache array that itself survives power loss) must equal the golden
+// architectural image. It returns nil when consistent.
+//
+// Designs whose cache is volatile and checkpointed to NVM pass
+// overlay=nil: after a JIT checkpoint the NVM image alone must be
+// complete. NVCache-WB (non-volatile array) and NVSRAM (array
+// checkpointed to an NV twin) pass their array as overlay.
+func DurableEqual(golden *mem.Store, image *mem.Store, overlay *Array) error {
+	view := image
+	if overlay != nil {
+		view = image.Clone()
+		overlay.ForEachLine(func(addr uint32, ln *Line) {
+			view.WriteLine(addr, ln.Data)
+		})
+	}
+	if d := golden.FirstDiff(view); d != "" {
+		return fmt.Errorf("durable state diverged from architectural state: %s", d)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wlcache/internal/mem"
+)
+
+func TestAdaptiveModeString(t *testing.T) {
+	if AdaptOff.String() != "off" || AdaptStatic.String() != "static" || AdaptDynamic.String() != "dynamic" {
+		t.Fatal("mode names wrong")
+	}
+	if AdaptiveMode(99).String() != "unknown" {
+		t.Fatal("unknown mode name wrong")
+	}
+}
+
+func TestAdaptiveRaisesOnGrowingOnTime(t *testing.T) {
+	a := NewAdaptive(DefaultAdaptiveConfig(), 4)
+	// T(n-1) is 2x T(n-2): clearly improving source.
+	if got := a.NextMaxline(2000, 1000); got != 5 {
+		t.Fatalf("maxline = %d, want 5", got)
+	}
+	if got := a.NextMaxline(4000, 2000); got != 6 {
+		t.Fatalf("maxline = %d, want 6", got)
+	}
+	// Clamped at MaxMaxline.
+	if got := a.NextMaxline(8000, 4000); got != 6 {
+		t.Fatalf("maxline = %d, want clamp at 6", got)
+	}
+}
+
+func TestAdaptiveLowersOnShrinkingOnTime(t *testing.T) {
+	a := NewAdaptive(DefaultAdaptiveConfig(), 4)
+	if got := a.NextMaxline(500, 1000); got != 3 {
+		t.Fatalf("maxline = %d, want 3", got)
+	}
+	if got := a.NextMaxline(250, 500); got != 2 {
+		t.Fatalf("maxline = %d, want 2", got)
+	}
+	// Clamped at MinMaxline.
+	if got := a.NextMaxline(100, 250); got != 2 {
+		t.Fatalf("maxline = %d, want clamp at 2", got)
+	}
+}
+
+func TestAdaptiveHoldsOnFlatOnTime(t *testing.T) {
+	a := NewAdaptive(DefaultAdaptiveConfig(), 4)
+	for i := 0; i < 5; i++ {
+		if got := a.NextMaxline(1000, 1000); got != 4 {
+			t.Fatalf("maxline moved to %d on flat history", got)
+		}
+	}
+}
+
+func TestAdaptiveIgnoresMissingHistory(t *testing.T) {
+	a := NewAdaptive(DefaultAdaptiveConfig(), 4)
+	if got := a.NextMaxline(0, 0); got != 4 {
+		t.Fatal("moved without history")
+	}
+	if got := a.NextMaxline(1000, 0); got != 4 {
+		t.Fatal("moved with only one sample")
+	}
+}
+
+func TestAdaptiveClampsInitial(t *testing.T) {
+	cfg := DefaultAdaptiveConfig() // bounds [2, 6]
+	if NewAdaptive(cfg, 99).Maxline() != 6 {
+		t.Fatal("initial not clamped to max")
+	}
+	if NewAdaptive(cfg, 0).Maxline() != 2 {
+		t.Fatal("initial not clamped to min")
+	}
+}
+
+// Property: maxline always stays within [MinMaxline, MaxMaxline].
+func TestAdaptiveQuickBounds(t *testing.T) {
+	f := func(durs []int64) bool {
+		cfg := DefaultAdaptiveConfig()
+		a := NewAdaptive(cfg, 4)
+		prev := int64(1000)
+		for _, d := range durs {
+			if d < 0 {
+				d = -d
+			}
+			d = d%100000 + 1
+			m := a.NextMaxline(d, prev)
+			prev = d
+			if m < cfg.MinMaxline || m > cfg.MaxMaxline {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWLCacheOnBootAppliesAdaptation(t *testing.T) {
+	nvm := mem.NewNVM(mem.DefaultNVMParams())
+	cfg := DefaultConfig()
+	cfg.Adaptive.Mode = AdaptStatic
+	c := New(cfg, nvm)
+	if c.Maxline() != 6 {
+		t.Fatalf("initial maxline %d", c.Maxline())
+	}
+	// Shrinking on-times lower maxline and waterline together.
+	c.OnBoot(500, 1000)
+	if c.Maxline() != 5 || c.Waterline() != 4 {
+		t.Fatalf("after shrink: maxline %d waterline %d", c.Maxline(), c.Waterline())
+	}
+	if c.ExtraStats().Reconfigs != 1 {
+		t.Fatalf("reconfigs = %d", c.ExtraStats().Reconfigs)
+	}
+	// Reserve shrinks with it.
+	small := c.ReserveEnergy()
+	c.OnBoot(4000, 500)
+	if c.ReserveEnergy() <= small {
+		t.Fatal("reserve did not grow with maxline")
+	}
+}
+
+func TestWLCacheDynamicRaise(t *testing.T) {
+	nvm := mem.NewNVM(mem.DefaultNVMParams())
+	cfg := DefaultConfig()
+	cfg.Maxline = 2
+	cfg.Waterline = 2 // no eager cleaning: force the maxline path
+	cfg.Adaptive.Mode = AdaptDynamic
+	cfg.Adaptive.MaxMaxline = 8
+	c := New(cfg, nvm)
+	c.BindEnergyProbe(func(newReserve float64) bool { return true }) // plenty of energy
+	now := int64(0)
+	for i := 0; i < 6; i++ {
+		now = store(c, now, uint32(0x1000+i*64), 1)
+	}
+	if c.Maxline() <= 2 {
+		t.Fatal("dynamic adaptation never raised maxline despite available energy")
+	}
+	if c.ExtraStats().Reconfigs == 0 {
+		t.Fatal("reconfig not counted")
+	}
+}
+
+func TestWLCacheDynamicRaiseDeniedByProbe(t *testing.T) {
+	nvm := mem.NewNVM(mem.DefaultNVMParams())
+	cfg := DefaultConfig()
+	cfg.Maxline = 2
+	cfg.Waterline = 1
+	cfg.Adaptive.Mode = AdaptDynamic
+	cfg.Adaptive.MaxMaxline = 8
+	c := New(cfg, nvm)
+	c.BindEnergyProbe(func(newReserve float64) bool { return false }) // starving
+	now := int64(0)
+	for i := 0; i < 6; i++ {
+		now = store(c, now, uint32(0x1000+i*64), 1)
+	}
+	if c.Maxline() != 2 {
+		t.Fatalf("maxline raised to %d despite probe denial", c.Maxline())
+	}
+	// Instead the cache must have written back (paper: "we would
+	// rather write back one of the dirty lines than stall").
+	if c.ExtraStats().Writebacks == 0 {
+		t.Fatal("no write-backs under denial")
+	}
+}
+
+func TestWLCacheDynamicRevertsAtBoot(t *testing.T) {
+	nvm := mem.NewNVM(mem.DefaultNVMParams())
+	cfg := DefaultConfig()
+	cfg.Maxline = 2
+	cfg.Waterline = 2
+	cfg.Adaptive.Mode = AdaptDynamic
+	cfg.Adaptive.MaxMaxline = 8
+	c := New(cfg, nvm)
+	c.BindEnergyProbe(func(float64) bool { return true })
+	now := int64(0)
+	for i := 0; i < 6; i++ {
+		now = store(c, now, uint32(0x1000+i*64), 1)
+	}
+	raised := c.Maxline()
+	if raised <= 2 {
+		t.Fatal("precondition: dynamic raise did not happen")
+	}
+	done, _ := c.Checkpoint(now)
+	done, _ = c.Restore(done)
+	c.OnBoot(1000, 1000) // flat: static controller keeps its own value
+	if c.Maxline() >= raised {
+		t.Fatalf("opportunistic raise (%d) persisted across boot (%d)", raised, c.Maxline())
+	}
+	_ = done
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"wlcache/internal/isa"
+	"wlcache/internal/mem"
+)
+
+// FuzzWLCacheProtocol feeds arbitrary byte streams (decoded as
+// load/store/checkpoint operations) through a WL-Cache and asserts
+// the §3/§5 invariants: the dirty bound, architectural value
+// correctness, and whole-system durability at every checkpoint.
+func FuzzWLCacheProtocol(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(3))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x80, 0x40, 0x20, 0x10}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, mlSeed uint8) {
+		maxline := 1 + int(mlSeed)%6
+		nvm := mem.NewNVM(mem.DefaultNVMParams())
+		cfg := DefaultConfig()
+		cfg.Maxline = maxline
+		cfg.Waterline = maxline - 1
+		if cfg.Waterline < 1 {
+			cfg.Waterline = 1
+		}
+		cfg.Adaptive.Mode = AdaptOff
+		c := New(cfg, nvm)
+		golden := mem.NewStore()
+		now := int64(0)
+		for i := 0; i+3 <= len(data); i += 3 {
+			op := data[i]
+			addr := (uint32(data[i+1]) | uint32(data[i+2])<<8) << 2 // 256 KB footprint
+			switch op % 7 {
+			case 6:
+				done, _ := c.Checkpoint(now)
+				if err := c.DurableEqual(golden); err != nil {
+					t.Fatalf("durability violated at op %d: %v", i, err)
+				}
+				now, _ = c.Restore(done)
+			case 1, 3, 5:
+				val := uint32(op)<<24 | addr
+				golden.Write(addr, val)
+				_, done, _ := c.Access(now, isa.OpStore, addr, val)
+				now = done
+			default:
+				v, done, _ := c.Access(now, isa.OpLoad, addr, 0)
+				if want := golden.Read(addr); v != want {
+					t.Fatalf("load %#x = %#x, want %#x", addr, v, want)
+				}
+				now = done
+			}
+			if c.DirtyLines() > maxline {
+				t.Fatalf("dirty lines %d exceed maxline %d", c.DirtyLines(), maxline)
+			}
+		}
+		c.Checkpoint(now)
+		if err := c.DurableEqual(golden); err != nil {
+			t.Fatalf("final durability: %v", err)
+		}
+	})
+}

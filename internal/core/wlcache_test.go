@@ -1,0 +1,361 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wlcache/internal/isa"
+	"wlcache/internal/mem"
+)
+
+// testCache builds a WL-Cache with adaptation off and the given
+// maxline over a fresh NVM.
+func testCache(t *testing.T, maxline int) (*WLCache, *mem.NVM) {
+	t.Helper()
+	nvm := mem.NewNVM(mem.DefaultNVMParams())
+	cfg := DefaultConfig()
+	cfg.Maxline = maxline
+	cfg.Waterline = maxline - 1
+	cfg.Adaptive.Mode = AdaptOff
+	return New(cfg, nvm), nvm
+}
+
+// store/load helpers advancing a fake clock far enough that all ACKs
+// drain between steps when desired.
+func store(c *WLCache, now int64, addr, v uint32) int64 {
+	_, done, _ := c.Access(now, isa.OpStore, addr, v)
+	return done
+}
+
+func load(c *WLCache, now int64, addr uint32) (uint32, int64) {
+	v, done, _ := c.Access(now, isa.OpLoad, addr, 0)
+	return v, done
+}
+
+func TestWLCacheStoreLoadRoundTrip(t *testing.T) {
+	c, _ := testCache(t, 6)
+	now := store(c, 0, 0x1000, 42)
+	v, _ := load(c, now, 0x1000)
+	if v != 42 {
+		t.Fatalf("load = %d, want 42", v)
+	}
+}
+
+func TestWLCacheDirtyBoundNeverExceeded(t *testing.T) {
+	for _, maxline := range []int{1, 2, 4, 6, 8} {
+		c, _ := testCache(t, maxline)
+		now := int64(0)
+		// Store to many distinct lines; the bound must hold after
+		// every access.
+		for i := 0; i < 200; i++ {
+			now = store(c, now, uint32(0x1000+i*64), uint32(i))
+			if c.DirtyLines() > maxline {
+				t.Fatalf("maxline=%d: dirty lines %d exceed bound", maxline, c.DirtyLines())
+			}
+			if got := c.Array().DirtyCount(); got != c.DirtyLines() {
+				t.Fatalf("dirty counter %d disagrees with array scan %d", c.DirtyLines(), got)
+			}
+		}
+	}
+}
+
+func TestWLCacheWaterlineTriggersAsyncWriteback(t *testing.T) {
+	c, nvm := testCache(t, 4) // waterline 3
+	now := int64(0)
+	for i := 0; i < 3; i++ {
+		now = store(c, now, uint32(0x1000+i*64), 1)
+	}
+	if got := nvm.Traffic().WriteWords; got != 0 {
+		t.Fatalf("write-back before waterline exceeded: %d words", got)
+	}
+	store(c, now, 0x1000+3*64, 1) // 4th dirty line > waterline 3
+	if got := nvm.Traffic().WriteWords; got == 0 {
+		t.Fatal("no write-back after crossing the waterline")
+	}
+	// The cleaned line must still be resident (clean, not evicted).
+	if _, hit := c.Array().Lookup(0x1000); !hit {
+		t.Fatal("cleaned line was evicted; §3.1 says it stays cached")
+	}
+	if c.DirtyLines() != 3 {
+		t.Fatalf("dirty lines = %d, want 3 (one cleaned)", c.DirtyLines())
+	}
+}
+
+func TestWLCacheWritebackValueDurable(t *testing.T) {
+	c, nvm := testCache(t, 2)
+	now := store(c, 0, 0x1000, 0xaa)
+	now = store(c, now, 0x1040, 0xbb) // crosses waterline 1 -> cleans 0x1000 (FIFO)
+	_ = now
+	if got := nvm.Image().Read(0x1000); got != 0xaa {
+		t.Fatalf("NVM image = %#x after write-back, want 0xaa", got)
+	}
+}
+
+// §5.3: a store racing an in-flight write-back must re-dirty the line
+// and add a redundant DirtyQueue entry; no value may be lost.
+func TestWLCacheCleanFirstRace(t *testing.T) {
+	c, nvm := testCache(t, 2)
+	now := store(c, 0, 0x1000, 1) // X = 1
+	// Fill the queue so X is selected for cleaning.
+	now = store(c, now, 0x1040, 7) // crosses waterline -> async WB of 0x1000 issued
+	// Immediately store X = 2 while the write-back is in flight (we
+	// do NOT advance past the ACK time). Because the line was marked
+	// clean first (step 1), the store re-dirties it and inserts a
+	// redundant DirtyQueue entry; the waterline may then immediately
+	// clean it again, which is fine — the redundant entry is the
+	// observable evidence of the race being handled.
+	now = store(c, now, 0x1000, 2)
+	if c.ExtraStats().RedundantDQ == 0 {
+		t.Fatal("redundant DirtyQueue entry not recorded (step 1 ordering broken)")
+	}
+	// Checkpoint must persist X = 2.
+	_, _ = c.Checkpoint(now + 1)
+	if got := nvm.Image().Read(0x1000); got != 2 {
+		t.Fatalf("NVM has X=%d after checkpoint, want 2 (lost update!)", got)
+	}
+}
+
+// §5.4: evicting a dirty line persists it and leaves a stale queue
+// entry that later cleaning/checkpointing skips harmlessly.
+func TestWLCacheEvictionLeavesStaleEntry(t *testing.T) {
+	c, nvm := testCache(t, 6)
+	// Dirty a line, then evict it via two conflicting fills (2-way set).
+	now := store(c, 0, 0x1000, 99)
+	_, now = load(c, now, 0x1000+4096)
+	_, now = load(c, now, 0x1000+8192) // evicts 0x1000 (LRU)
+	if _, hit := c.Array().Lookup(0x1000); hit {
+		t.Fatal("line still resident; conflict fills should have evicted it")
+	}
+	if got := nvm.Image().Read(0x1000); got != 99 {
+		t.Fatalf("evicted dirty line not persisted: NVM = %d", got)
+	}
+	// Its queue entry is stale; a checkpoint must skip it.
+	before := c.ExtraStats().StaleDQSkips
+	_, _ = c.Checkpoint(now)
+	if c.ExtraStats().StaleDQSkips == before {
+		t.Fatal("stale entry not skipped at checkpoint")
+	}
+}
+
+func TestWLCacheCheckpointFlushesAllDirty(t *testing.T) {
+	c, nvm := testCache(t, 6)
+	golden := mem.NewStore()
+	now := int64(0)
+	vals := map[uint32]uint32{0x1000: 1, 0x2040: 2, 0x3080: 3, 0x40c0: 4}
+	for a, v := range vals {
+		now = store(c, now, a, v)
+		golden.Write(a, v)
+	}
+	done, eb := c.Checkpoint(now)
+	if done <= now {
+		t.Fatal("checkpoint took no time")
+	}
+	if eb.Checkpoint <= 0 {
+		t.Fatal("checkpoint consumed no energy")
+	}
+	if c.DirtyLines() != 0 {
+		t.Fatalf("dirty lines after checkpoint = %d", c.DirtyLines())
+	}
+	if err := c.DurableEqual(golden); err != nil {
+		t.Fatalf("durability violated: %v", err)
+	}
+	_ = nvm
+}
+
+func TestWLCacheCheckpointCostBounded(t *testing.T) {
+	// The checkpoint can never flush more lines than the DirtyQueue
+	// holds, which bounds its energy by the reserve.
+	c, _ := testCache(t, 6)
+	now := int64(0)
+	for i := 0; i < 100; i++ {
+		now = store(c, now, uint32(i*64), uint32(i))
+	}
+	_, eb := c.Checkpoint(now)
+	p := mem.DefaultNVMParams()
+	jit := DefaultConfig().JIT
+	maxE := float64(c.Queue().Cap())*p.LineWriteEnergy + jit.RegCheckpointEnergy
+	if eb.Checkpoint > maxE+1e-12 {
+		t.Fatalf("checkpoint energy %g exceeds DirtyQueue bound %g", eb.Checkpoint, maxE)
+	}
+}
+
+func TestWLCacheRestoreIsCold(t *testing.T) {
+	c, _ := testCache(t, 6)
+	now := store(c, 0, 0x1000, 5)
+	done, _ := c.Checkpoint(now)
+	done, _ = c.Restore(done)
+	if _, hit := c.Array().Lookup(0x1000); hit {
+		t.Fatal("volatile cache warm after restore")
+	}
+	// Value still correct via NVM refill.
+	v, _ := load(c, done, 0x1000)
+	if v != 5 {
+		t.Fatalf("post-restore load = %d, want 5", v)
+	}
+}
+
+func TestWLCacheReserveTracksMaxline(t *testing.T) {
+	nvm := mem.NewNVM(mem.DefaultNVMParams())
+	cfg := DefaultConfig()
+	cfg.Adaptive.Mode = AdaptOff
+	var prev float64
+	for ml := 1; ml <= 8; ml++ {
+		cfg.Maxline = ml
+		cfg.Waterline = ml - 1
+		if ml == 1 {
+			cfg.Waterline = 1 // waterline 0 would mean write-through
+		}
+		c := New(cfg, nvm)
+		r := c.ReserveEnergy()
+		if r <= prev {
+			t.Fatalf("reserve not increasing with maxline: %g at %d", r, ml)
+		}
+		prev = r
+	}
+}
+
+func TestWLCacheStallAccountedWhenQueueSaturated(t *testing.T) {
+	// waterline == maxline disables eager cleaning, forcing stalls.
+	nvm := mem.NewNVM(mem.DefaultNVMParams())
+	cfg := DefaultConfig()
+	cfg.Maxline = 2
+	cfg.Waterline = 2
+	cfg.Adaptive.Mode = AdaptOff
+	c := New(cfg, nvm)
+	now := int64(0)
+	for i := 0; i < 8; i++ {
+		now = store(c, now, uint32(0x1000+i*64), 1)
+	}
+	if c.ExtraStats().Writebacks == 0 {
+		t.Fatal("no write-backs despite saturation")
+	}
+	if c.DirtyLines() > 2 {
+		t.Fatal("bound violated under saturation")
+	}
+}
+
+func TestWLCacheConfigValidation(t *testing.T) {
+	nvm := mem.NewNVM(mem.DefaultNVMParams())
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.DQCap = 0 },
+		func(c *Config) { c.Maxline = 0 },
+		func(c *Config) { c.Maxline = 9 }, // > DQCap 8
+		func(c *Config) { c.Waterline = 7; c.Maxline = 6 },
+	} {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			New(cfg, nvm)
+		}()
+	}
+}
+
+func TestWLCacheName(t *testing.T) {
+	c, _ := testCache(t, 6)
+	if c.Name() != "WL-Cache(dq=FIFO,cache=LRU)" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+// Property: under random operation streams the WL-Cache always (a)
+// keeps dirty lines <= maxline, (b) returns the architecturally
+// correct value for every load, and (c) passes the durability check
+// after every checkpoint.
+func TestWLCacheQuickProtocol(t *testing.T) {
+	f := func(ops []uint16, maxlineSeed uint8) bool {
+		maxline := 1 + int(maxlineSeed)%6
+		nvm := mem.NewNVM(mem.DefaultNVMParams())
+		cfg := DefaultConfig()
+		cfg.Maxline = maxline
+		cfg.Waterline = maxline - 1
+		if cfg.Waterline == 0 {
+			cfg.Waterline = 1
+		}
+		if cfg.Waterline > cfg.Maxline {
+			cfg.Waterline = cfg.Maxline
+		}
+		cfg.Adaptive.Mode = AdaptOff
+		c := New(cfg, nvm)
+		golden := mem.NewStore()
+		now := int64(0)
+		for i, op := range ops {
+			addr := uint32(op&0x3ff) << 2 // 4 KB footprint
+			switch {
+			case op%5 == 4:
+				// Occasionally checkpoint + restore (power cycle).
+				done, _ := c.Checkpoint(now)
+				if err := c.DurableEqual(golden); err != nil {
+					t.Logf("durability after checkpoint: %v", err)
+					return false
+				}
+				now, _ = c.Restore(done)
+			case op%3 == 0:
+				v, done, _ := c.Access(now, isa.OpLoad, addr, 0)
+				if v != golden.Read(addr) {
+					t.Logf("op %d: load %#x = %#x, want %#x", i, addr, v, golden.Read(addr))
+					return false
+				}
+				now = done
+			default:
+				val := uint32(op) * 2654435761
+				golden.Write(addr, val)
+				_, done, _ := c.Access(now, isa.OpStore, addr, val)
+				now = done
+			}
+			if c.DirtyLines() > maxline {
+				return false
+			}
+		}
+		// Final durability.
+		c.Checkpoint(now)
+		return c.DurableEqual(golden) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same op stream under DQLRU and cache FIFO policies is
+// also value-correct and bounded.
+func TestWLCacheQuickProtocolAltPolicies(t *testing.T) {
+	f := func(ops []uint16) bool {
+		nvm := mem.NewNVM(mem.DefaultNVMParams())
+		cfg := DefaultConfig()
+		cfg.DQPolicy = DQLRU
+		cfg.CachePolicy = 1 // cache.FIFO
+		cfg.Maxline = 3
+		cfg.Waterline = 2
+		cfg.Adaptive.Mode = AdaptOff
+		c := New(cfg, nvm)
+		golden := mem.NewStore()
+		now := int64(0)
+		for _, op := range ops {
+			addr := uint32(op&0x7ff) << 2
+			if op%2 == 0 {
+				v, done, _ := c.Access(now, isa.OpLoad, addr, 0)
+				if v != golden.Read(addr) {
+					return false
+				}
+				now = done
+			} else {
+				val := uint32(op) ^ 0xabcd1234
+				golden.Write(addr, val)
+				_, done, _ := c.Access(now, isa.OpStore, addr, val)
+				now = done
+			}
+			if c.DirtyLines() > 3 {
+				return false
+			}
+		}
+		c.Checkpoint(now)
+		return c.DurableEqual(golden) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package designs
+
+import (
+	"wlcache/internal/cache"
+	"wlcache/internal/energy"
+	"wlcache/internal/isa"
+	"wlcache/internal/mem"
+)
+
+// BrokenVolatileWB is the strawman the paper's introduction warns
+// about: a plain volatile write-back SRAM cache on an energy
+// harvesting system with no cache checkpointing at all. It is fast
+// and cheap — and loses every dirty line at power failure, silently
+// corrupting memory. It exists as a negative control: tests assert
+// that its durability check fails and that workloads running on it
+// under power failures produce wrong results, motivating WL-Cache.
+type BrokenVolatileWB struct {
+	wb  wbCache
+	jit energy.JITCosts
+}
+
+// NewBrokenVolatileWB builds the unsafe design.
+func NewBrokenVolatileWB(geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) *BrokenVolatileWB {
+	return &BrokenVolatileWB{wb: newWBCache(geo, cache.SRAMTech(), pol, nvm), jit: jit}
+}
+
+// Name identifies the design.
+func (d *BrokenVolatileWB) Name() string { return "VolatileWB(broken)" }
+
+// Array exposes the cache array for tests.
+func (d *BrokenVolatileWB) Array() *cache.Array { return d.wb.arr }
+
+// Access is a conventional write-back access at SRAM speed.
+func (d *BrokenVolatileWB) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64, energy.Breakdown) {
+	var eb energy.Breakdown
+	v, done := d.wb.access(now, op, addr, val, &eb)
+	return v, done, eb
+}
+
+// Checkpoint saves registers only — dirty cache lines are abandoned.
+func (d *BrokenVolatileWB) Checkpoint(now int64) (int64, energy.Breakdown) {
+	var eb energy.Breakdown
+	eb.Checkpoint += d.jit.RegCheckpointEnergy
+	return now + d.jit.RegCheckpointTime, eb
+}
+
+// Restore boots with a cold cache; whatever was dirty is gone.
+func (d *BrokenVolatileWB) Restore(now int64) (int64, energy.Breakdown) {
+	var eb energy.Breakdown
+	d.wb.arr.InvalidateAll()
+	eb.Restore += d.jit.RestoreEnergy
+	return now + d.jit.RestoreTime, eb
+}
+
+// ReserveEnergy covers registers only.
+func (d *BrokenVolatileWB) ReserveEnergy() float64 { return d.jit.BaseReserve }
+
+// LeakPower is the SRAM leakage.
+func (d *BrokenVolatileWB) LeakPower() float64 { return d.wb.tech.Leakage }
+
+// DurableEqual reports the corruption: after an outage the NVM image
+// is missing every dirty line the cache dropped.
+func (d *BrokenVolatileWB) DurableEqual(golden *mem.Store) error {
+	return cache.DurableEqual(golden, d.wb.nvm.Image(), nil)
+}

@@ -1,0 +1,73 @@
+// Package designs implements the cache organizations WL-Cache is
+// evaluated against (§2.3, Table 1): NoCache (the plain non-volatile
+// processor), VCache-WT (volatile write-through), NVCache-WB (fully
+// non-volatile write-back), NVSRAM (ideal volatile write-back with a
+// non-volatile checkpoint twin), and ReplayCache (volatile write-back
+// with compiler-directed region-level persistence).
+//
+// All designs implement the simulator's Design interface; value
+// correctness flows through the same cache/NVM substrates as
+// WL-Cache, so the crash-consistency tests exercise every design
+// identically.
+package designs
+
+import (
+	"wlcache/internal/cache"
+	"wlcache/internal/energy"
+	"wlcache/internal/isa"
+	"wlcache/internal/mem"
+)
+
+// NoCache is the baseline non-volatile processor (Figure 1(a)): no
+// cache at all; every load/store is a synchronous NVM word access.
+// JIT checkpointing covers only the register file.
+type NoCache struct {
+	nvm *mem.NVM
+	jit energy.JITCosts
+}
+
+// NewNoCache returns the cacheless NVP design.
+func NewNoCache(jit energy.JITCosts, nvm *mem.NVM) *NoCache {
+	return &NoCache{nvm: nvm, jit: jit}
+}
+
+// Name identifies the design.
+func (d *NoCache) Name() string { return "NoCache" }
+
+// Access forwards every operation to the NVM.
+func (d *NoCache) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64, energy.Breakdown) {
+	var eb energy.Breakdown
+	if op == isa.OpLoad {
+		v, done, e := d.nvm.ReadWord(now, addr)
+		eb.MemRead += e
+		return v, done, eb
+	}
+	done, e := d.nvm.WriteWord(now, addr, val)
+	eb.MemWrite += e
+	return val, done, eb
+}
+
+// Checkpoint persists the register file to NVFF.
+func (d *NoCache) Checkpoint(now int64) (int64, energy.Breakdown) {
+	var eb energy.Breakdown
+	eb.Checkpoint += d.jit.RegCheckpointEnergy
+	return now + d.jit.RegCheckpointTime, eb
+}
+
+// Restore reloads registers from NVFF.
+func (d *NoCache) Restore(now int64) (int64, energy.Breakdown) {
+	var eb energy.Breakdown
+	eb.Restore += d.jit.RestoreEnergy
+	return now + d.jit.RestoreTime, eb
+}
+
+// ReserveEnergy covers registers only.
+func (d *NoCache) ReserveEnergy() float64 { return d.jit.BaseReserve }
+
+// LeakPower is zero: no cache array.
+func (d *NoCache) LeakPower() float64 { return 0 }
+
+// DurableEqual: NVM is always architecturally current.
+func (d *NoCache) DurableEqual(golden *mem.Store) error {
+	return cache.DurableEqual(golden, d.nvm.Image(), nil)
+}

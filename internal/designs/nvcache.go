@@ -1,0 +1,62 @@
+package designs
+
+import (
+	"wlcache/internal/cache"
+	"wlcache/internal/energy"
+	"wlcache/internal/isa"
+	"wlcache/internal/mem"
+)
+
+// NVCacheWB is the fully non-volatile write-back cache (Figure 1(c),
+// §2.3.2): the array itself is ReRAM, so its contents — including
+// dirty lines — survive power failure and no cache checkpointing is
+// needed. The price is slow, energy-hungry accesses (especially
+// writes) and high leakage at runtime.
+type NVCacheWB struct {
+	wb  wbCache
+	jit energy.JITCosts
+}
+
+// NewNVCacheWB builds the non-volatile write-back design.
+func NewNVCacheWB(geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) *NVCacheWB {
+	return &NVCacheWB{wb: newWBCache(geo, cache.NVRAMTech(), pol, nvm), jit: jit}
+}
+
+// Name identifies the design.
+func (d *NVCacheWB) Name() string { return "NVCache-WB" }
+
+// Array exposes the cache array for tests.
+func (d *NVCacheWB) Array() *cache.Array { return d.wb.arr }
+
+// Access is a conventional write-back access at NVRAM speed.
+func (d *NVCacheWB) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64, energy.Breakdown) {
+	var eb energy.Breakdown
+	v, done := d.wb.access(now, op, addr, val, &eb)
+	return v, done, eb
+}
+
+// Checkpoint persists registers only: the cache is non-volatile.
+func (d *NVCacheWB) Checkpoint(now int64) (int64, energy.Breakdown) {
+	var eb energy.Breakdown
+	eb.Checkpoint += d.jit.RegCheckpointEnergy
+	return now + d.jit.RegCheckpointTime, eb
+}
+
+// Restore boots with a warm cache: contents survived.
+func (d *NVCacheWB) Restore(now int64) (int64, energy.Breakdown) {
+	var eb energy.Breakdown
+	eb.Restore += d.jit.RestoreEnergy
+	return now + d.jit.RestoreTime, eb
+}
+
+// ReserveEnergy covers registers only.
+func (d *NVCacheWB) ReserveEnergy() float64 { return d.jit.BaseReserve }
+
+// LeakPower is the NV array leakage (§6.2 puts WL-Cache's DirtyQueue
+// at 9% of this).
+func (d *NVCacheWB) LeakPower() float64 { return d.wb.tech.Leakage }
+
+// DurableEqual overlays the (non-volatile) array onto the NVM image.
+func (d *NVCacheWB) DurableEqual(golden *mem.Store) error {
+	return cache.DurableEqual(golden, d.wb.nvm.Image(), d.wb.arr)
+}

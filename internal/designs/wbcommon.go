@@ -1,0 +1,74 @@
+package designs
+
+import (
+	"wlcache/internal/cache"
+	"wlcache/internal/energy"
+	"wlcache/internal/isa"
+	"wlcache/internal/mem"
+)
+
+// wbCache is the conventional write-back, write-allocate access logic
+// shared by NVCache-WB, NVSRAM and ReplayCache. Dirty victims are
+// written back to NVM on eviction; stores dirty the line and stay in
+// the cache.
+type wbCache struct {
+	arr     *cache.Array
+	tech    cache.Tech
+	nvm     *mem.NVM
+	lineBuf []uint32
+}
+
+func newWBCache(geo cache.Geometry, tech cache.Tech, pol cache.ReplacementPolicy, nvm *mem.NVM) wbCache {
+	return wbCache{
+		arr:     cache.NewArray(geo, pol),
+		tech:    tech,
+		nvm:     nvm,
+		lineBuf: make([]uint32, geo.LineWords()),
+	}
+}
+
+// access performs one conventional write-back access.
+func (c *wbCache) access(now int64, op isa.Op, addr, val uint32, eb *energy.Breakdown) (uint32, int64) {
+	eb.CacheRead += c.tech.ReplacementEnergy[c.arr.Policy()]
+	lineAddr := c.arr.LineAddr(addr)
+	ln, hit := c.arr.Lookup(addr)
+	t := now
+	if !hit {
+		t += c.tech.ProbeLatency
+		eb.CacheRead += c.tech.ProbeEnergy
+		ln, t = c.fill(t, lineAddr, eb)
+	}
+	c.arr.Touch(ln)
+	if op == isa.OpLoad {
+		eb.CacheRead += c.tech.ReadEnergy
+		if hit {
+			t += c.tech.HitLatency
+		}
+		return ln.Data[c.arr.WordIndex(addr)], t
+	}
+	ln.Data[c.arr.WordIndex(addr)] = val
+	ln.Dirty = true
+	eb.CacheWrite += c.tech.WriteEnergy
+	t += c.tech.WriteLatency
+	return val, t
+}
+
+// fill loads lineAddr into the array, persisting a dirty victim first.
+func (c *wbCache) fill(t int64, lineAddr uint32, eb *energy.Breakdown) (*cache.Line, int64) {
+	victim := c.arr.Victim(lineAddr)
+	if victim.Valid && victim.Dirty {
+		vaddr := c.arr.VictimAddr(victim, lineAddr)
+		done, e := c.nvm.WriteLine(t, vaddr, victim.Data)
+		eb.MemWrite += e
+		t = done
+		victim.Dirty = false
+	}
+	done, e := c.nvm.ReadLine(t, lineAddr, c.lineBuf)
+	eb.MemRead += e
+	c.arr.Fill(victim, lineAddr, c.lineBuf)
+	ln, ok := c.arr.Lookup(lineAddr)
+	if !ok {
+		panic("designs: line absent immediately after fill")
+	}
+	return ln, done
+}

@@ -1,0 +1,179 @@
+// Package energy models the energy subsystem of a battery-less device:
+// a capacitor energy buffer (E = ½CV²), the Von/Vbackup/Vmin voltage
+// thresholds that gate execution and JIT checkpointing, and an energy
+// accounting breakdown used by the §6.7 analysis.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Breakdown tallies consumed energy (joules) by subsystem, mirroring
+// the categories of Figure 13(b).
+type Breakdown struct {
+	CacheRead  float64
+	CacheWrite float64
+	MemRead    float64
+	MemWrite   float64
+	Compute    float64
+	Checkpoint float64
+	Restore    float64
+	Leak       float64
+}
+
+// Total returns the sum over all categories.
+func (b Breakdown) Total() float64 {
+	return b.CacheRead + b.CacheWrite + b.MemRead + b.MemWrite + b.Compute + b.Checkpoint + b.Restore + b.Leak
+}
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.CacheRead += o.CacheRead
+	b.CacheWrite += o.CacheWrite
+	b.MemRead += o.MemRead
+	b.MemWrite += o.MemWrite
+	b.Compute += o.Compute
+	b.Checkpoint += o.Checkpoint
+	b.Restore += o.Restore
+	b.Leak += o.Leak
+}
+
+// Capacitor is the harvested-energy buffer. Voltage is the state
+// variable; energy moves in and out via Harvest and Draw.
+type Capacitor struct {
+	c    float64 // farads
+	v    float64 // volts
+	vMin float64
+	vMax float64
+}
+
+// NewCapacitor returns a capacitor of c farads charged to vMax, with
+// operating floor vMin (hardware brown-out) and ceiling vMax.
+func NewCapacitor(c, vMin, vMax float64) *Capacitor {
+	if c <= 0 || vMin < 0 || vMax <= vMin {
+		panic(fmt.Sprintf("energy: invalid capacitor c=%g vMin=%g vMax=%g", c, vMin, vMax))
+	}
+	return &Capacitor{c: c, v: vMax, vMin: vMin, vMax: vMax}
+}
+
+// Capacitance returns C in farads.
+func (c *Capacitor) Capacitance() float64 { return c.c }
+
+// Voltage returns the present voltage.
+func (c *Capacitor) Voltage() float64 { return c.v }
+
+// VMin and VMax return the operating bounds.
+func (c *Capacitor) VMin() float64 { return c.vMin }
+
+// VMax returns the voltage ceiling.
+func (c *Capacitor) VMax() float64 { return c.vMax }
+
+// SetVoltage forces the voltage (initialization/boot).
+func (c *Capacitor) SetVoltage(v float64) {
+	c.v = math.Min(math.Max(v, 0), c.vMax)
+}
+
+// Energy returns the stored energy above 0 V.
+func (c *Capacitor) Energy() float64 { return 0.5 * c.c * c.v * c.v }
+
+// EnergyAbove returns the stored energy available before the voltage
+// would fall to vFloor (0 if already below).
+func (c *Capacitor) EnergyAbove(vFloor float64) float64 {
+	if c.v <= vFloor {
+		return 0
+	}
+	return 0.5 * c.c * (c.v*c.v - vFloor*vFloor)
+}
+
+// Draw removes e joules. The voltage clamps at zero; callers enforce
+// operating thresholds (the voltage monitor, not the capacitor, knows
+// about Vbackup).
+func (c *Capacitor) Draw(e float64) {
+	if e < 0 {
+		panic("energy: negative draw")
+	}
+	rem := c.v*c.v - 2*e/c.c
+	if rem <= 0 {
+		c.v = 0
+		return
+	}
+	c.v = math.Sqrt(rem)
+}
+
+// Harvest adds e joules, clamping at vMax (excess harvest is shed, as
+// in a real regulator).
+func (c *Capacitor) Harvest(e float64) {
+	if e < 0 {
+		panic("energy: negative harvest")
+	}
+	v2 := c.v*c.v + 2*e/c.c
+	c.v = math.Min(math.Sqrt(v2), c.vMax)
+}
+
+// TimeToReach returns the seconds of harvesting at constant power p
+// (watts) needed to raise the voltage to vTarget, or +Inf when p <= 0.
+func (c *Capacitor) TimeToReach(vTarget, p float64) float64 {
+	if c.v >= vTarget {
+		return 0
+	}
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	need := 0.5 * c.c * (vTarget*vTarget - c.v*c.v)
+	return need / p
+}
+
+// JITCosts are the fixed costs of the JIT checkpoint/restore machinery
+// shared by every NVP-style design: persisting the register file (and
+// for WL-Cache the maxline/waterline/timer NVFFs, §5.5) and waking the
+// system back up. Times are picoseconds, energies joules.
+type JITCosts struct {
+	RegCheckpointTime   int64
+	RegCheckpointEnergy float64
+	RestoreTime         int64
+	RestoreEnergy       float64
+	// BaseReserve is the energy reserved for the fixed part of a JIT
+	// checkpoint (registers, thresholds, control) independent of any
+	// cache flushing.
+	BaseReserve float64
+}
+
+// DefaultJITCosts returns NVFF-based checkpoint costs in line with
+// published non-volatile processors (~us-scale wake-up).
+func DefaultJITCosts() JITCosts {
+	return JITCosts{
+		RegCheckpointTime:   500_000, // 0.5 us
+		RegCheckpointEnergy: 30e-9,
+		RestoreTime:         1_000_000, // 1 us
+		RestoreEnergy:       50e-9,
+		BaseReserve:         150e-9,
+	}
+}
+
+// SoftwareJITCosts returns QuickRecall-style costs (§2.1 alternative):
+// registers are checkpointed by software into main-memory NVM instead
+// of adjacent NVFFs — no flip-flop hardware, but each checkpoint and
+// restore walks the register file over the NVM port, so both the
+// fixed costs and the reserve are substantially larger.
+func SoftwareJITCosts() JITCosts {
+	return JITCosts{
+		RegCheckpointTime:   4_000_000, // 4 us: ~32 words + control, store path
+		RegCheckpointEnergy: 120e-9,
+		RestoreTime:         6_000_000, // 6 us software wake-up
+		RestoreEnergy:       150e-9,
+		BaseReserve:         400e-9,
+	}
+}
+
+// VbackupFor computes the JIT-checkpointing voltage threshold that
+// reserves at least reserve*margin joules above vMin on a capacitor of
+// c farads: Vbackup = sqrt(vMin² + 2·margin·reserve/C), clamped to
+// [vMin, vMax]. This is the sizing rule of §3.2/§5.5: once maxline is
+// (re)configured, Vbackup is adjusted so the bounded set of dirty
+// lines (plus registers and DirtyQueue thresholds) can always be
+// checkpointed failure-atomically.
+func VbackupFor(cFarads, vMin, vMax, reserve, margin float64) float64 {
+	v := math.Sqrt(vMin*vMin + 2*margin*reserve/cFarads)
+	return math.Min(math.Max(v, vMin), vMax)
+}

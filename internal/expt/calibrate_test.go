@@ -1,0 +1,47 @@
+package expt
+
+import (
+	"testing"
+
+	"wlcache/internal/power"
+	"wlcache/internal/sim"
+	"wlcache/internal/stats"
+	"wlcache/internal/workload"
+)
+
+// TestCalibrateDesigns prints per-design gmean speedups over NVSRAM
+// for no-failure, trace-1 and trace-2 runs: the numbers the paper's
+// headline claims rest on. Used to tune model constants; shape
+// assertions live in the experiment tests.
+func TestCalibrateDesigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration profile")
+	}
+	kinds := []Kind{KindNVCache, KindVCacheWT, KindReplay, KindNVSRAM, KindWLFixed, KindWL, KindWLDyn}
+	for _, src := range []power.Source{power.None, power.Trace1, power.Trace2, power.Trace3, power.Solar, power.Thermal} {
+		base := map[string]float64{}
+		speeds := map[Kind][]float64{}
+		outs := map[Kind]uint64{}
+		for _, w := range workload.All() {
+			for _, k := range kinds {
+				res, err := Run(k, Options{}, w.Name, 1, src, sim.DefaultConfig())
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", k, w.Name, src, err)
+				}
+				if k == KindNVSRAM {
+					base[w.Name] = float64(res.ExecTime)
+				}
+				speeds[k] = append(speeds[k], float64(res.ExecTime))
+				outs[k] += res.Outages
+			}
+		}
+		for _, k := range kinds {
+			ratios := make([]float64, 0, len(base))
+			for i, w := range workload.All() {
+				ratios = append(ratios, base[w.Name]/speeds[k][i])
+			}
+			t.Logf("src=%-7s %-12s gmean speedup vs NVSRAM = %.3f  (outages total %d)",
+				src, k, stats.Gmean(ratios), outs[k])
+		}
+	}
+}

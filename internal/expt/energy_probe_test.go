@@ -1,0 +1,32 @@
+package expt
+
+import (
+	"testing"
+
+	"wlcache/internal/power"
+	"wlcache/internal/sim"
+)
+
+// TestEnergyProbe prints the per-design energy breakdown for a few
+// representative workloads under Trace 1 (calibration aid).
+func TestEnergyProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration profile")
+	}
+	kinds := []Kind{KindNVCache, KindVCacheWT, KindReplay, KindNVSRAM, KindWL}
+	for _, wl := range []string{"susanedges", "qsort", "sha", "jpegencode"} {
+		for _, k := range kinds {
+			res, err := Run(k, Options{}, wl, 1, power.Trace1, sim.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", k, wl, err)
+			}
+			e := res.Energy
+			t.Logf("%-11s %-12s exec=%7.2fms on=%6.2f off=%6.2f out=%4d E=%8.2fuJ [cr %.2f cw %.2f mr %.2f mw %.2f cp %.2f ck %.2f rs %.2f lk %.2f] wb=%d wrW=%d",
+				wl, k, res.Seconds()*1e3, float64(res.OnTime)/1e9, float64(res.OffTime)/1e9,
+				res.Outages, e.Total()*1e6,
+				e.CacheRead*1e6, e.CacheWrite*1e6, e.MemRead*1e6, e.MemWrite*1e6,
+				e.Compute*1e6, e.Checkpoint*1e6, e.Restore*1e6, e.Leak*1e6,
+				res.Extra.Writebacks, res.NVMTraffic.WriteWords)
+		}
+	}
+}

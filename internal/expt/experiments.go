@@ -1,0 +1,195 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"wlcache/internal/power"
+	"wlcache/internal/sim"
+	"wlcache/internal/stats"
+	"wlcache/internal/workload"
+)
+
+// Context configures an experiment run.
+type Context struct {
+	// Scale multiplies workload input sizes (default 1 = paper runs).
+	Scale int
+	// Workloads restricts the benchmark set (nil = all 23).
+	Workloads []string
+	// Parallelism bounds concurrent simulations (0 = NumCPU).
+	Parallelism int
+	// CheckInvariants enables the expensive correctness checking.
+	CheckInvariants bool
+}
+
+func (c Context) normalize() Context {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = workload.Names()
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	return c
+}
+
+func (c Context) simConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.CheckInvariants = c.CheckInvariants
+	return cfg
+}
+
+// Experiment reproduces one table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ctx Context) (string, error)
+}
+
+var experiments []Experiment
+
+func registerExperiment(e Experiment) { experiments = append(experiments, e) }
+
+// Experiments returns every registered experiment in registration
+// order (the paper's order).
+func Experiments() []Experiment { return experiments }
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists all experiment ids.
+func IDs() []string {
+	ids := make([]string, len(experiments))
+	for i, e := range experiments {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// cell is one (design, workload, trace, options) simulation request.
+type cell struct {
+	kind  Kind
+	opts  Options
+	wl    string
+	src   power.Source
+	simFn func(*sim.Config) // optional config override
+	// optional cells may fail (e.g. a design whose JIT reserve cannot
+	// be charged on a tiny capacitor); their Result is left zero.
+	optional bool
+}
+
+// runCells executes all cells with bounded parallelism and returns
+// results keyed by index.
+func runCells(ctx Context, cells []cell) ([]sim.Result, error) {
+	ctx = ctx.normalize()
+	results := make([]sim.Result, len(cells))
+	errs := make([]error, len(cells))
+	sem := make(chan struct{}, ctx.Parallelism)
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cells[i]
+			cfg := ctx.simConfig()
+			if c.simFn != nil {
+				c.simFn(&cfg)
+			}
+			results[i], errs[i] = Run(c.kind, c.opts, c.wl, ctx.Scale, c.src, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			if cells[i].optional {
+				results[i] = sim.Result{}
+				continue
+			}
+			return nil, fmt.Errorf("cell %s/%s/%s: %w", cells[i].kind, cells[i].wl, cells[i].src, err)
+		}
+	}
+	return results, nil
+}
+
+// gmeanOrNaN is Gmean that propagates NaN/non-positive samples as NaN
+// (used where a configuration is infeasible for some design).
+func gmeanOrNaN(xs []float64) float64 {
+	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) {
+			return math.NaN()
+		}
+	}
+	return stats.Gmean(xs)
+}
+
+// speedupTable builds the paper's standard per-benchmark layout: one
+// row per benchmark plus gmean(Media), gmean(Mi) and gmean(Total),
+// with each column a design's speedup over the NVSRAM baseline.
+func speedupTable(title string, names []string, columns []string,
+	times func(wl string) (base float64, perCol []float64)) *stats.Table {
+	t := stats.NewTable(title, columns...)
+	perColRatios := make([][]float64, len(columns))
+	mediaSet := map[string]bool{}
+	for _, n := range workload.SuiteNames(workload.MediaBench) {
+		mediaSet[n] = true
+	}
+	mediaRatios := make([][]float64, len(columns))
+	miRatios := make([][]float64, len(columns))
+	for _, wl := range names {
+		base, per := times(wl)
+		row := make([]float64, len(columns))
+		for i, tm := range per {
+			r := base / tm
+			row[i] = r
+			perColRatios[i] = append(perColRatios[i], r)
+			if mediaSet[wl] {
+				mediaRatios[i] = append(mediaRatios[i], r)
+			} else {
+				miRatios[i] = append(miRatios[i], r)
+			}
+		}
+		t.Add(wl, row...)
+	}
+	addG := func(label string, rs [][]float64) {
+		row := make([]float64, len(columns))
+		for i := range columns {
+			if len(rs[i]) > 0 {
+				row[i] = stats.Gmean(rs[i])
+			}
+		}
+		t.Add(label, row...)
+	}
+	addG("gmean(Media)", mediaRatios)
+	addG("gmean(Mi)", miRatios)
+	addG("gmean(Total)", perColRatios)
+	return t
+}
+
+// subsetNames intersects the context's workload list with the full
+// registry, preserving figure order.
+func subsetNames(ctx Context) []string {
+	want := map[string]bool{}
+	for _, n := range ctx.Workloads {
+		want[n] = true
+	}
+	var out []string
+	for _, n := range workload.Names() {
+		if want[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package expt
+
+import (
+	"fmt"
+
+	"wlcache/internal/power"
+	"wlcache/internal/stats"
+)
+
+// Figures 4, 5 and 6: per-benchmark speedup of NVCache-WB, VCache-WT,
+// ReplayCache and WL-Cache normalized to NVSRAM(ideal), without power
+// failures and under Power Traces 1 and 2.
+
+func init() {
+	registerExperiment(Experiment{
+		ID:    "fig4",
+		Title: "Figure 4: normalized speedup vs NVSRAM(ideal), no power failure",
+		Run:   func(ctx Context) (string, error) { return figSpeedups(ctx, power.None, "Figure 4 (no power failure)") },
+	})
+	registerExperiment(Experiment{
+		ID:    "fig5",
+		Title: "Figure 5: normalized speedup vs NVSRAM(ideal), Power Trace 1",
+		Run:   func(ctx Context) (string, error) { return figSpeedups(ctx, power.Trace1, "Figure 5 (Power Trace 1)") },
+	})
+	registerExperiment(Experiment{
+		ID:    "fig6",
+		Title: "Figure 6: normalized speedup vs NVSRAM(ideal), Power Trace 2",
+		Run:   func(ctx Context) (string, error) { return figSpeedups(ctx, power.Trace2, "Figure 6 (Power Trace 2)") },
+	})
+}
+
+// figDesigns are the plotted designs in the figures' legend order.
+var figDesigns = []struct {
+	col  string
+	kind Kind
+}{
+	{"NVCache-WB", KindNVCache},
+	{"VCache-WT", KindVCacheWT},
+	{"ReplayCache", KindReplay},
+	{"WL-Cache", KindWL},
+}
+
+func figSpeedups(ctx Context, src power.Source, title string) (string, error) {
+	ctx = ctx.normalize()
+	names := subsetNames(ctx)
+	var cells []cell
+	for _, wl := range names {
+		cells = append(cells, cell{kind: KindNVSRAM, wl: wl, src: src})
+		for _, d := range figDesigns {
+			cells = append(cells, cell{kind: d.kind, wl: wl, src: src})
+		}
+	}
+	results, err := runCells(ctx, cells)
+	if err != nil {
+		return "", err
+	}
+	perRow := 1 + len(figDesigns)
+	cols := make([]string, len(figDesigns))
+	for i, d := range figDesigns {
+		cols[i] = d.col
+	}
+	idx := 0
+	t := speedupTable(title+", speedup over NVSRAM(ideal)", names, cols,
+		func(wl string) (float64, []float64) {
+			row := results[idx*perRow : (idx+1)*perRow]
+			idx++
+			base := float64(row[0].ExecTime)
+			per := make([]float64, len(figDesigns))
+			for i := range figDesigns {
+				per[i] = float64(row[1+i].ExecTime)
+			}
+			return base, per
+		})
+	out := t.String()
+	chart := stats.NewBarChart("\ngmean(Total) speedup over NVSRAM(ideal):")
+	chart.RefValue = 1.0
+	for _, d := range figDesigns {
+		chart.Add(d.col, t.GmeanOver(d.col, names))
+	}
+	chart.Add("NVSRAM(ideal)", 1.0)
+	out += chart.String()
+	if src != power.None {
+		var totalOut uint64
+		for _, r := range results {
+			totalOut += r.Outages
+		}
+		out += fmt.Sprintf("\n(avg outages per run: %.1f)\n", float64(totalOut)/float64(len(results)))
+	}
+	return out, nil
+}

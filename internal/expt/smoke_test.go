@@ -1,0 +1,32 @@
+package expt
+
+import (
+	"testing"
+
+	"wlcache/internal/power"
+	"wlcache/internal/sim"
+	"wlcache/internal/workload"
+)
+
+// TestSmokeAllWorkloads runs every workload once on WL-Cache with
+// invariant checking, without power failures, and prints the profile
+// (instruction counts drive calibration).
+func TestSmokeAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke profile")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.CheckInvariants = true
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res, err := Run(KindWL, Options{}, w.Name, 1, power.None, cfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			t.Logf("%-14s instr=%9d loads=%8d stores=%8d onTime=%8.3fms cpi=%.2f sum=%08x",
+				w.Name, res.Instructions, res.Loads, res.Stores,
+				float64(res.OnTime)/1e9, res.CPI(), res.Checksum)
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package hwcost
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWLCacheCostMatchesPaperClaims(t *testing.T) {
+	area, dyn, leak, rows := WLCacheCost()
+	if len(rows) == 0 {
+		t.Fatal("no structures reported")
+	}
+	// §6.2: at most 0.005 mm^2, 0.0008 nJ per access, ~0.1 mW leak.
+	if area > 0.005 {
+		t.Fatalf("area %g mm^2 exceeds the paper bound", area)
+	}
+	if dyn > 0.0008+0.0002 {
+		t.Fatalf("dynamic energy %g nJ exceeds the paper bound", dyn)
+	}
+	if leak < 0.05 || leak > 0.15 {
+		t.Fatalf("leak %g mW far from the paper's 0.1 mW", leak)
+	}
+	ratio := leak / NVCacheLeakMW(8192)
+	if ratio < 0.05 || ratio > 0.15 {
+		t.Fatalf("leak ratio %.2f far from the paper's 9%%", ratio)
+	}
+}
+
+func TestEstimateScalesWithBits(t *testing.T) {
+	tech := Tech90()
+	small := Estimate(Structure{Name: "s", Entries: 4, BitsPer: 8}, tech)
+	big := Estimate(Structure{Name: "b", Entries: 8, BitsPer: 8}, tech)
+	if big.AreaMM2 <= small.AreaMM2 || big.LeakMW <= small.LeakMW {
+		t.Fatal("cost must grow with entries")
+	}
+	// Dynamic energy is per entry access: equal for equal widths.
+	if big.DynNJ != small.DynNJ {
+		t.Fatal("per-access energy should depend on width, not entries")
+	}
+}
+
+func TestCAMSurcharge(t *testing.T) {
+	tech := Tech90()
+	ram := Estimate(Structure{Name: "r", Entries: 8, BitsPer: 26}, tech)
+	cam := Estimate(Structure{Name: "c", Entries: 8, BitsPer: 26, CAM: true}, tech)
+	if cam.AreaMM2 <= ram.AreaMM2 || cam.DynNJ <= ram.DynNJ || cam.LeakMW <= ram.LeakMW {
+		t.Fatal("CAM must cost more on every axis")
+	}
+}
+
+func TestDirtyQueueStructures(t *testing.T) {
+	rows := DirtyQueue(8, 26)
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 structures, got %d", len(rows))
+	}
+	if rows[0].Entries != 8 || rows[0].BitsPer != 26 {
+		t.Fatal("DirtyQueue sizing wrong")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Estimate(Structure{Name: "DirtyQueue", Entries: 8, BitsPer: 26}, Tech90())
+	s := r.String()
+	for _, want := range []string{"DirtyQueue", "mm2", "nJ", "mW"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q: %s", want, s)
+		}
+	}
+}

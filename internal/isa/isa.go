@@ -1,0 +1,48 @@
+// Package isa defines the contract between workload programs and the
+// machine that executes them.
+//
+// Workloads are ordinary Go functions that perform their real
+// computation (ADPCM coding, SHA-1 hashing, FFTs, ...) against a
+// simulated word-addressable address space. Every architectural memory
+// access and every batch of ALU work is reported through the Machine
+// interface, which the simulator implements; the simulator charges
+// time and energy, models the cache hierarchy, and injects power
+// failures between operations.
+package isa
+
+// Op identifies the kind of a memory operation.
+type Op uint8
+
+const (
+	// OpLoad is an architectural load of one 32-bit word.
+	OpLoad Op = iota
+	// OpStore is an architectural store of one 32-bit word.
+	OpStore
+)
+
+// String returns "load" or "store".
+func (o Op) String() string {
+	if o == OpLoad {
+		return "load"
+	}
+	return "store"
+}
+
+// Machine is the execution substrate a workload runs on. Addresses are
+// byte addresses and must be 4-byte aligned; the word size is 32 bits.
+//
+// Implementations must be deterministic: the same sequence of calls
+// yields the same values and the same simulated timing.
+type Machine interface {
+	// Load32 performs an architectural load and returns the word most
+	// recently stored at addr (zero if never written).
+	Load32(addr uint32) uint32
+	// Store32 performs an architectural store of v at addr.
+	Store32(addr uint32, v uint32)
+	// Compute accounts for n ALU/branch instructions that touch no
+	// memory. n must be >= 0; Compute(0) is a no-op.
+	Compute(n int)
+}
+
+// WordBytes is the architectural word size in bytes.
+const WordBytes = 4

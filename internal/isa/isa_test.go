@@ -1,0 +1,15 @@
+package isa
+
+import "testing"
+
+func TestOpString(t *testing.T) {
+	if OpLoad.String() != "load" || OpStore.String() != "store" {
+		t.Fatal("op names wrong")
+	}
+}
+
+func TestWordBytes(t *testing.T) {
+	if WordBytes != 4 {
+		t.Fatal("the architecture is 32-bit")
+	}
+}

@@ -1,0 +1,31 @@
+package mem
+
+import "testing"
+
+// FuzzStoreVsMap cross-checks the paged store against a plain map
+// under arbitrary write sequences encoded as bytes.
+func FuzzStoreVsMap(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0xfc, 0x00, 0x10, 0x20})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewStore()
+		ref := map[uint32]uint32{}
+		for i := 0; i+8 <= len(data); i += 8 {
+			addr := (uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16 | uint32(data[i+3])<<24) &^ 3
+			val := uint32(data[i+4]) | uint32(data[i+5])<<8 | uint32(data[i+6])<<16 | uint32(data[i+7])<<24
+			s.Write(addr, val)
+			ref[addr] = val
+			if got := s.Read(addr); got != val {
+				t.Fatalf("read-after-write %#x: %#x != %#x", addr, got, val)
+			}
+		}
+		for a, v := range ref {
+			if got := s.Read(a); got != v {
+				t.Fatalf("final read %#x: %#x != %#x", a, got, v)
+			}
+		}
+		if !s.Equal(s.Clone()) {
+			t.Fatal("clone not equal")
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package mem
+
+// NVMParams are the timing and energy parameters of the NVM main
+// memory. Times are picoseconds, energies joules. The defaults are
+// derived from Table 2's ReRAM timing: a word read costs roughly
+// tRCD+tCL (~40 ns); a synchronous word write hits the row buffer
+// (~tCL+tBURST, 25 ns) while full-line write-backs pay the array write
+// (tWR = 150 ns); a line read streams after the first word.
+type NVMParams struct {
+	WordReadLatency  int64 // ps, one word
+	WordWriteLatency int64 // ps, one word (row-buffer write, store path)
+	// WordWriteOccupancy is how long a word write holds the port; it
+	// is shorter than the latency because writes pipeline through the
+	// row buffer (asynchronous persists sustain this rate while a
+	// synchronous write-through store still waits the full latency).
+	WordWriteOccupancy int64
+	LineReadLatency    int64 // ps, one full line (miss fill)
+	LineWriteLatency   int64 // ps, one full line (write-back path)
+
+	WordReadEnergy  float64 // J
+	WordWriteEnergy float64 // J
+	LineReadEnergy  float64 // J
+	LineWriteEnergy float64 // J, coalesced full-line write
+}
+
+// DefaultNVMParams returns the Table 2 ReRAM configuration.
+func DefaultNVMParams() NVMParams {
+	return NVMParams{
+		WordReadLatency:    40_000,  // 40 ns
+		WordWriteLatency:   40_000,  // 40 ns synchronous store
+		WordWriteOccupancy: 12_000,  // 12 ns pipelined
+		LineReadLatency:    60_000,  // 60 ns
+		LineWriteLatency:   150_000, // tWR = 150 ns
+		WordReadEnergy:     1.0e-9,
+		WordWriteEnergy:    0.75e-9,
+		LineReadEnergy:     1.5e-9,
+		LineWriteEnergy:    2.0e-9,
+	}
+}
+
+// Traffic tallies NVM accesses in words.
+type Traffic struct {
+	ReadWords  uint64
+	WriteWords uint64
+	Reads      uint64 // read transactions
+	Writes     uint64 // write transactions
+}
+
+// WriteBytes returns the write traffic in bytes.
+func (t Traffic) WriteBytes() uint64 { return t.WriteWords * 4 }
+
+// ReadBytes returns the read traffic in bytes.
+func (t Traffic) ReadBytes() uint64 { return t.ReadWords * 4 }
+
+// NVM is the non-volatile main memory: a value store fronted by a
+// single-ported timing model. Accesses serialize on the port; an
+// access issued at time now while the port is busy starts when the
+// port frees. Contents survive power failure by construction.
+type NVM struct {
+	params    NVMParams
+	image     *Store
+	busyUntil int64
+	traffic   Traffic
+}
+
+// NewNVM returns an NVM with the given parameters and an all-zero image.
+func NewNVM(p NVMParams) *NVM {
+	return &NVM{params: p, image: NewStore()}
+}
+
+// Image exposes the underlying value store (timing-free; used for
+// initialization and consistency checks).
+func (n *NVM) Image() *Store { return n.image }
+
+// Params returns the timing/energy parameters.
+func (n *NVM) Params() NVMParams { return n.params }
+
+// Traffic returns the cumulative access tallies.
+func (n *NVM) Traffic() Traffic { return n.traffic }
+
+// ReadWord reads one word at time now, returning the value, completion
+// time and energy drawn.
+func (n *NVM) ReadWord(now int64, addr uint32) (v uint32, done int64, energy float64) {
+	done = n.occupy(now, n.params.WordReadLatency)
+	n.traffic.ReadWords++
+	n.traffic.Reads++
+	return n.image.Read(addr), done, n.params.WordReadEnergy
+}
+
+// WriteWord writes one word at time now (store path). The returned
+// completion time reflects the full write latency, while the port
+// frees after the (shorter) occupancy.
+func (n *NVM) WriteWord(now int64, addr uint32, v uint32) (done int64, energy float64) {
+	start := now
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	n.busyUntil = start + n.params.WordWriteOccupancy
+	done = start + n.params.WordWriteLatency
+	n.image.Write(addr, v)
+	n.traffic.WriteWords++
+	n.traffic.Writes++
+	return done, n.params.WordWriteEnergy
+}
+
+// ReadLine reads len(dst) words starting at addr (miss fill).
+func (n *NVM) ReadLine(now int64, addr uint32, dst []uint32) (done int64, energy float64) {
+	done = n.occupy(now, n.params.LineReadLatency)
+	n.image.ReadLine(addr, dst)
+	n.traffic.ReadWords += uint64(len(dst))
+	n.traffic.Reads++
+	return done, n.params.LineReadEnergy
+}
+
+// WriteLine writes the words in src starting at addr (write-back path).
+func (n *NVM) WriteLine(now int64, addr uint32, src []uint32) (done int64, energy float64) {
+	done = n.occupy(now, n.params.LineWriteLatency)
+	n.image.WriteLine(addr, src)
+	n.traffic.WriteWords += uint64(len(src))
+	n.traffic.Writes++
+	return done, n.params.LineWriteEnergy
+}
+
+// BusyUntil returns the time at which the port frees.
+func (n *NVM) BusyUntil() int64 { return n.busyUntil }
+
+func (n *NVM) occupy(now, latency int64) (done int64) {
+	start := now
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	done = start + latency
+	n.busyUntil = done
+	return done
+}

@@ -1,0 +1,128 @@
+// Package mem models the byte-addressable non-volatile main memory
+// (NVM) of an energy harvesting system: a paged word-granular value
+// store plus a timing/energy front end with single-port contention.
+package mem
+
+import "fmt"
+
+const (
+	// pageWords is the number of 32-bit words per page (4 KiB pages).
+	pageWords = 1024
+	pageShift = 12 // log2(pageWords * 4)
+)
+
+// Store is a sparse word-addressable value image. The zero value is an
+// empty store in which every word reads as zero. Store has no timing;
+// it is the raw data substrate shared by NVM images and cache lines.
+type Store struct {
+	pages map[uint32]*[pageWords]uint32
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{pages: make(map[uint32]*[pageWords]uint32)}
+}
+
+// Read returns the word at byte address addr (must be 4-byte aligned).
+func (s *Store) Read(addr uint32) uint32 {
+	checkAlign(addr)
+	p := s.pages[addr>>pageShift]
+	if p == nil {
+		return 0
+	}
+	return p[(addr>>2)&(pageWords-1)]
+}
+
+// Write sets the word at byte address addr (must be 4-byte aligned).
+func (s *Store) Write(addr uint32, v uint32) {
+	checkAlign(addr)
+	idx := addr >> pageShift
+	p := s.pages[idx]
+	if p == nil {
+		p = new([pageWords]uint32)
+		s.pages[idx] = p
+	}
+	p[(addr>>2)&(pageWords-1)] = v
+}
+
+// ReadLine copies the n words starting at byte address addr into dst.
+func (s *Store) ReadLine(addr uint32, dst []uint32) {
+	for i := range dst {
+		dst[i] = s.Read(addr + uint32(i*4))
+	}
+}
+
+// WriteLine stores the words in src starting at byte address addr.
+func (s *Store) WriteLine(addr uint32, src []uint32) {
+	for i, v := range src {
+		s.Write(addr+uint32(i*4), v)
+	}
+}
+
+// Equal reports whether the two stores hold identical contents. Pages
+// absent from one store compare equal to all-zero pages in the other.
+func (s *Store) Equal(o *Store) bool {
+	return s.firstDiff(o) == nil
+}
+
+// FirstDiff returns a description of the first differing word between
+// the two stores, or "" if they are equal. Useful in test failures.
+func (s *Store) FirstDiff(o *Store) string {
+	d := s.firstDiff(o)
+	if d == nil {
+		return ""
+	}
+	return fmt.Sprintf("addr %#x: %#x != %#x", d.addr, d.a, d.b)
+}
+
+type diff struct {
+	addr uint32
+	a, b uint32
+}
+
+func (s *Store) firstDiff(o *Store) *diff {
+	for idx, p := range s.pages {
+		q := o.pages[idx]
+		for i, v := range p {
+			var w uint32
+			if q != nil {
+				w = q[i]
+			}
+			if v != w {
+				return &diff{idx<<pageShift | uint32(i*4), v, w}
+			}
+		}
+	}
+	for idx, q := range o.pages {
+		if s.pages[idx] != nil {
+			continue // already compared above
+		}
+		for i, w := range q {
+			if w != 0 {
+				return &diff{idx<<pageShift | uint32(i*4), 0, w}
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	for idx, p := range s.pages {
+		cp := *p
+		c.pages[idx] = &cp
+	}
+	return c
+}
+
+// Reset discards all contents.
+func (s *Store) Reset() {
+	s.pages = make(map[uint32]*[pageWords]uint32)
+}
+
+func checkAlign(addr uint32) {
+	if addr&3 != 0 {
+		panic(fmt.Sprintf("mem: unaligned word access at %#x", addr))
+	}
+}

@@ -1,0 +1,150 @@
+// Package power models ambient energy-harvesting input as power
+// traces: piecewise-constant harvested power (watts) over time. The
+// paper evaluates with two recorded RF traces (tr.1 home, tr.2
+// office), a third RF trace from Mementos (tr.3), and solar/thermal
+// traces; this package provides deterministic synthetic generators
+// with the same stability ordering, plus CSV import/export so real
+// recordings can be substituted.
+package power
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace is a looping piecewise-constant power signal. Sample i covers
+// simulated time [i*Step, (i+1)*Step) picoseconds; after the last
+// sample the trace wraps around.
+type Trace struct {
+	Name    string
+	Step    int64     // ps per sample
+	Samples []float64 // watts
+}
+
+// Duration returns the length of one loop in picoseconds.
+func (t *Trace) Duration() int64 { return t.Step * int64(len(t.Samples)) }
+
+// At returns the harvested power at absolute time ps.
+func (t *Trace) At(ps int64) float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	i := (ps / t.Step) % int64(len(t.Samples))
+	return t.Samples[i]
+}
+
+// Mean returns the average power over one loop.
+func (t *Trace) Mean() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range t.Samples {
+		s += p
+	}
+	return s / float64(len(t.Samples))
+}
+
+// Integrate returns the energy (joules) harvested over [from, to) ps.
+func (t *Trace) Integrate(from, to int64) float64 {
+	if to <= from || len(t.Samples) == 0 {
+		return 0
+	}
+	const psPerSec = 1e12
+	e := 0.0
+	for cur := from; cur < to; {
+		i := (cur / t.Step) % int64(len(t.Samples))
+		segEnd := (cur/t.Step + 1) * t.Step
+		if segEnd > to {
+			segEnd = to
+		}
+		e += t.Samples[i] * float64(segEnd-cur) / psPerSec
+		cur = segEnd
+	}
+	return e
+}
+
+// TimeToHarvest returns the smallest dt (ps) such that integrating the
+// trace over [from, from+dt) yields at least joules. It returns ok =
+// false if the trace can never supply it (all-zero trace).
+func (t *Trace) TimeToHarvest(from int64, joules float64) (dt int64, ok bool) {
+	if joules <= 0 {
+		return 0, true
+	}
+	if t.Mean() <= 0 {
+		return 0, false
+	}
+	const psPerSec = 1e12
+	acc := 0.0
+	cur := from
+	for {
+		i := (cur / t.Step) % int64(len(t.Samples))
+		segEnd := (cur/t.Step + 1) * t.Step
+		p := t.Samples[i]
+		segE := p * float64(segEnd-cur) / psPerSec
+		if acc+segE >= joules {
+			// Finish partway through this segment.
+			frac := (joules - acc) / p * psPerSec
+			return cur + int64(frac) + 1 - from, true
+		}
+		acc += segE
+		cur = segEnd
+	}
+}
+
+// WriteCSV writes the trace as "seconds,watts" rows preceded by a
+// header comment carrying the name and step.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# name=%s step_ps=%d\n", t.Name, t.Step)
+	for i, p := range t.Samples {
+		fmt.Fprintf(bw, "%g,%g\n", float64(int64(i)*t.Step)/1e12, p)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	t := &Trace{Name: "csv", Step: 100_000_000} // default 100 us
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			for _, f := range strings.Fields(strings.TrimPrefix(line, "#")) {
+				if v, ok := strings.CutPrefix(f, "name="); ok {
+					t.Name = v
+				}
+				if v, ok := strings.CutPrefix(f, "step_ps="); ok {
+					s, err := strconv.ParseInt(v, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("power: bad step_ps %q: %w", v, err)
+					}
+					t.Step = s
+				}
+			}
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("power: bad CSV row %q", line)
+		}
+		p, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("power: bad power %q: %w", parts[1], err)
+		}
+		t.Samples = append(t.Samples, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.Samples) == 0 {
+		return nil, fmt.Errorf("power: empty trace")
+	}
+	return t, nil
+}

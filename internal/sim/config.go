@@ -1,0 +1,108 @@
+// Package sim is the execution engine: it drives a workload program
+// through a cache Design while integrating harvested and consumed
+// energy over a power trace, triggering JIT checkpoints when the
+// capacitor voltage falls to Vbackup, modeling the off-period
+// recharge, and collecting the statistics the paper's evaluation
+// reports.
+package sim
+
+import (
+	"fmt"
+
+	"wlcache/internal/energy"
+	"wlcache/internal/power"
+)
+
+// Config holds the machine-level simulation parameters (Table 2 plus
+// the energy constants this reproduction documents here).
+type Config struct {
+	// CyclePS is the CPU cycle time in picoseconds (1 GHz → 1000).
+	CyclePS int64
+	// InstrEnergy is the core energy per executed instruction (J).
+	InstrEnergy float64
+	// ComputeChunk bounds how many pure-ALU instructions execute
+	// between voltage checks (the voltage monitor's granularity).
+	ComputeChunk int
+
+	// Capacitor and voltage thresholds (Table 2).
+	CapacitorF float64
+	VMin       float64
+	VMax       float64
+	// VonDelta sets the restore threshold Von = Vbackup + VonDelta
+	// (clamped to VMax): the system reboots only after recharging past
+	// the backup threshold by this margin.
+	VonDelta float64
+	// CheckpointMargin over-provisions the JIT energy reserve when
+	// deriving Vbackup from a design's ReserveEnergy.
+	CheckpointMargin float64
+
+	// OnHarvestEff derates harvesting while the load runs: the
+	// frontend cannot charge the buffer at full efficiency while the
+	// regulator serves the core (off-period charging is unaffected).
+	OnHarvestEff float64
+
+	// Trace is the harvested-power input; nil means uninterrupted
+	// power ("no power failure" runs).
+	Trace *power.Trace
+
+	// ICache optionally models the L1 instruction cache (Table 2).
+	// nil folds instruction fetch into the pipeline cost (the default;
+	// see ICacheModel for when the distinction matters).
+	ICache *ICacheModel
+
+	// CheckInvariants enables the expensive correctness checks: every
+	// load is compared against the architectural golden image and
+	// every checkpoint is followed by a whole-system persistence
+	// check. Tests enable it; benchmarks do not.
+	CheckInvariants bool
+
+	// MaxOutages aborts runaway simulations (0 = default limit).
+	MaxOutages uint64
+}
+
+// DefaultConfig returns the paper's default machine configuration.
+func DefaultConfig() Config {
+	return Config{
+		CyclePS:          1000, // 1 GHz in-order, 1 instr/cycle
+		InstrEnergy:      20e-12,
+		ComputeChunk:     256,
+		CapacitorF:       1e-6, // 1 uF
+		VMin:             2.8,
+		VMax:             3.5,
+		VonDelta:         0.4,
+		CheckpointMargin: 1.0,
+		OnHarvestEff:     0.5,
+	}
+}
+
+// Vbackup derives the JIT-checkpointing threshold for a design
+// reserve under this configuration.
+func (c Config) Vbackup(reserve float64) float64 {
+	return energy.VbackupFor(c.CapacitorF, c.VMin, c.VMax, reserve, c.CheckpointMargin)
+}
+
+// Von derives the reboot threshold for a given Vbackup.
+func (c Config) Von(vbackup float64) float64 {
+	v := vbackup + c.VonDelta
+	if v > c.VMax {
+		v = c.VMax
+	}
+	return v
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.CyclePS <= 0:
+		return fmt.Errorf("sim: CyclePS must be positive")
+	case c.ComputeChunk <= 0:
+		return fmt.Errorf("sim: ComputeChunk must be positive")
+	case c.CapacitorF <= 0 || c.VMin <= 0 || c.VMax <= c.VMin:
+		return fmt.Errorf("sim: invalid capacitor configuration")
+	case c.VonDelta <= 0:
+		return fmt.Errorf("sim: VonDelta must be positive")
+	case c.CheckpointMargin < 1:
+		return fmt.Errorf("sim: CheckpointMargin must be >= 1 (reserves are worst-case; margin only adds slack)")
+	}
+	return nil
+}

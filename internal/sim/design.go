@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"wlcache/internal/energy"
+	"wlcache/internal/isa"
+	"wlcache/internal/mem"
+	"wlcache/internal/stats"
+)
+
+// Design is a cache organization together with its crash-consistency
+// protocol. internal/core (WL-Cache) and internal/designs (baselines)
+// implement it. Times are picoseconds; the simulator adds the 1-cycle
+// pipeline cost and per-instruction core energy on top of what Access
+// returns.
+type Design interface {
+	// Name identifies the design in results.
+	Name() string
+	// Access performs one memory operation beginning at now, returning
+	// the loaded value (stores echo val), the completion time, and the
+	// energy drawn by the memory hierarchy.
+	Access(now int64, op isa.Op, addr uint32, val uint32) (v uint32, done int64, eb energy.Breakdown)
+	// Checkpoint runs the design's JIT checkpoint at impending power
+	// failure, returning its completion time and energy.
+	Checkpoint(now int64) (done int64, eb energy.Breakdown)
+	// Restore boots the design back up after an outage.
+	Restore(now int64) (done int64, eb energy.Breakdown)
+	// ReserveEnergy is the worst-case JIT checkpoint energy the system
+	// must hold back; the simulator derives Vbackup from it. It may
+	// change over time (adaptive WL-Cache).
+	ReserveEnergy() float64
+	// LeakPower is the standby power of the design's arrays while on.
+	LeakPower() float64
+	// DurableEqual verifies whole-system persistence against the
+	// architectural golden image (invoked right after checkpoints when
+	// invariant checking is enabled).
+	DurableEqual(golden *mem.Store) error
+}
+
+// Rebooter is implemented by designs that reconfigure themselves at
+// boot from the measured power-on history (adaptive WL-Cache, §4).
+type Rebooter interface {
+	// OnBoot delivers the power-on durations (ps) of the last two
+	// completed intervals: lastOn = T(n-1), prevOn = T(n-2).
+	OnBoot(lastOn, prevOn int64)
+}
+
+// ExtraStatser exposes design-specific counters (§6.6).
+type ExtraStatser interface {
+	ExtraStats() stats.DesignExtra
+}
+
+// EnergyProbeBinder is implemented by designs that need to ask the
+// energy subsystem whether a larger reserve is affordable right now
+// (WL-Cache dynamic adaptation).
+type EnergyProbeBinder interface {
+	BindEnergyProbe(func(newReserve float64) bool)
+}

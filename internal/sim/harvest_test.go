@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"wlcache/internal/isa"
+	"wlcache/internal/mem"
+	"wlcache/internal/power"
+)
+
+// TestOnHarvestEffMonotone: charging less efficiently while running
+// must cost outages/time, never help.
+func TestOnHarvestEffMonotone(t *testing.T) {
+	run := func(eff float64) Result {
+		nvm := mem.NewNVM(mem.DefaultNVMParams())
+		cfg := DefaultConfig()
+		cfg.Trace = power.Get(power.Trace1)
+		cfg.OnHarvestEff = eff
+		s, err := New(cfg, newWLStatic(nvm), nvm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run("small", smallProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	burst := run(0)  // charge only while off
+	half := run(0.5) // default
+	full := run(1.0) // ideal frontend
+	if burst.Outages < half.Outages || half.Outages < full.Outages {
+		t.Fatalf("outages not monotone in harvest efficiency: %d/%d/%d",
+			burst.Outages, half.Outages, full.Outages)
+	}
+	if burst.ExecTime < full.ExecTime {
+		t.Fatalf("burst model faster than ideal harvesting: %d < %d", burst.ExecTime, full.ExecTime)
+	}
+}
+
+// TestInitialChargeUpCounted: runs under a trace include the initial
+// capacitor charge before the first instruction.
+func TestInitialChargeUpCounted(t *testing.T) {
+	nvm := mem.NewNVM(mem.DefaultNVMParams())
+	cfg := DefaultConfig()
+	cfg.Trace = power.Get(power.Trace1)
+	s, err := New(cfg, newWLStatic(nvm), nvm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run("tiny", func(m isa.Machine) uint32 { m.Compute(10); return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OffTime == 0 {
+		t.Fatal("initial charge-up not accounted as off time")
+	}
+}
+
+// TestBiggerCapacitorChargesLonger reproduces the Figure 10(b)
+// right-side mechanism directly at the simulator level.
+func TestBiggerCapacitorChargesLonger(t *testing.T) {
+	offTime := func(cf float64) int64 {
+		nvm := mem.NewNVM(mem.DefaultNVMParams())
+		cfg := DefaultConfig()
+		cfg.CapacitorF = cf
+		cfg.Trace = power.Get(power.Trace1)
+		s, err := New(cfg, newWLStatic(nvm), nvm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run("tiny", func(m isa.Machine) uint32 { m.Compute(1000); return 1 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OffTime
+	}
+	if offTime(100e-6) <= offTime(1e-6) {
+		t.Fatal("a 100x larger capacitor should take far longer to charge")
+	}
+}

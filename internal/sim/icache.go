@@ -1,0 +1,109 @@
+package sim
+
+import "wlcache/internal/energy"
+
+// ICacheModel optionally models the L1 instruction cache of Table 2.
+//
+// The default simulator folds instruction fetch into the 1-cycle
+// pipeline cost, which is accurate whenever the I-cache hits (the
+// common case: these kernels are small loops). The model adds the two
+// effects that differ across designs:
+//
+//   - a per-instruction fetch cost when the I-cache technology is
+//     slower than one pipeline cycle (the fetch can no longer hide
+//     under execution — this is what makes a non-volatile I-cache or
+//     a cacheless NVP so slow);
+//   - a cold-start refill after every reboot when the I-cache is
+//     volatile and not checkpointed (CodeLines line fills from NVM).
+//
+// The instruction stream itself is a loop over the kernel's code
+// footprint, so after the cold refill every fetch hits; this keeps the
+// model analytic (no per-instruction tag lookups) and the simulation
+// fast, while charging exactly the design-dependent costs.
+type ICacheModel struct {
+	// FetchLatency is the I-cache hit latency (ps). Only the part
+	// exceeding one pipeline cycle costs time.
+	FetchLatency int64
+	// FetchEnergy is charged per instruction.
+	FetchEnergy float64
+	// CodeLines is the kernel's code footprint in cache lines,
+	// refetched from NVM after each reboot when not WarmAcrossOutage.
+	CodeLines int
+	// WarmAcrossOutage marks non-volatile (or checkpointed) I-caches
+	// that skip the cold refill.
+	WarmAcrossOutage bool
+	// LineFillTime/LineFillEnergy cost one cold refill line.
+	LineFillTime   int64
+	LineFillEnergy float64
+}
+
+// SRAMICache returns a volatile SRAM I-cache (VCache-WT, ReplayCache,
+// WL-Cache, ...): fetches hide under the pipeline; reboots are cold.
+func SRAMICache() *ICacheModel {
+	return &ICacheModel{
+		FetchLatency:   300,
+		FetchEnergy:    10e-12,
+		CodeLines:      64, // 4 KB of hot code
+		LineFillTime:   60_000,
+		LineFillEnergy: 1.5e-9,
+	}
+}
+
+// NVICache returns a non-volatile I-cache (NVCache-WB): warm across
+// outages but every fetch pays the NV read.
+func NVICache() *ICacheModel {
+	return &ICacheModel{
+		FetchLatency:     4000, // 4 ns NV array read
+		FetchEnergy:      100e-12,
+		CodeLines:        64,
+		WarmAcrossOutage: true,
+	}
+}
+
+// NVSRAMICache returns a twin-backed SRAM I-cache (NVSRAM variants):
+// SRAM-speed fetches, restored warm by the twin.
+func NVSRAMICache() *ICacheModel {
+	return &ICacheModel{
+		FetchLatency:     300,
+		FetchEnergy:      10e-12,
+		CodeLines:        64,
+		WarmAcrossOutage: true,
+	}
+}
+
+// NoICache returns the cacheless NVP's instruction path: every fetch
+// is an NVM word read (the key reason real NVPs run so slowly).
+func NoICache() *ICacheModel {
+	return &ICacheModel{
+		FetchLatency:     40_000, // NVM word read per instruction
+		FetchEnergy:      1e-9,
+		WarmAcrossOutage: true, // nothing volatile to lose
+	}
+}
+
+// perInstrStall returns the fetch time that cannot hide under one
+// pipeline cycle.
+func (ic *ICacheModel) perInstrStall(cyclePS int64) int64 {
+	if ic == nil || ic.FetchLatency <= cyclePS {
+		return 0
+	}
+	return ic.FetchLatency - cyclePS
+}
+
+// instrEnergy returns the per-instruction fetch energy.
+func (ic *ICacheModel) instrEnergy() float64 {
+	if ic == nil {
+		return 0
+	}
+	return ic.FetchEnergy
+}
+
+// coldRefill returns the time and energy of a post-reboot refill.
+func (ic *ICacheModel) coldRefill() (int64, energy.Breakdown) {
+	var eb energy.Breakdown
+	if ic == nil || ic.WarmAcrossOutage || ic.CodeLines == 0 {
+		return 0, eb
+	}
+	eb.MemRead = float64(ic.CodeLines) * ic.LineFillEnergy
+	return int64(ic.CodeLines) * ic.LineFillTime, eb
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+
+	"wlcache/internal/isa"
+	"wlcache/internal/mem"
+	"wlcache/internal/power"
+)
+
+func TestICacheModelHelpers(t *testing.T) {
+	var nilModel *ICacheModel
+	if nilModel.perInstrStall(1000) != 0 || nilModel.instrEnergy() != 0 {
+		t.Fatal("nil model must be free")
+	}
+	if dt, eb := nilModel.coldRefill(); dt != 0 || eb.Total() != 0 {
+		t.Fatal("nil model must not refill")
+	}
+	sram := SRAMICache()
+	if sram.perInstrStall(1000) != 0 {
+		t.Fatal("SRAM fetch must hide under the pipeline")
+	}
+	nv := NVICache()
+	if nv.perInstrStall(1000) != 3000 {
+		t.Fatalf("NV fetch stall = %d, want 3000", nv.perInstrStall(1000))
+	}
+	none := NoICache()
+	if none.perInstrStall(1000) != 39000 {
+		t.Fatalf("NoCache fetch stall = %d", none.perInstrStall(1000))
+	}
+	if dt, _ := sram.coldRefill(); dt == 0 {
+		t.Fatal("volatile I-cache must refill after reboot")
+	}
+	if dt, _ := NVSRAMICache().coldRefill(); dt != 0 {
+		t.Fatal("twin-backed I-cache must restore warm")
+	}
+}
+
+func TestICacheSlowsFetchBoundDesigns(t *testing.T) {
+	// The same program under the NV I-cache must take ~4x the on-time
+	// of the SRAM I-cache (4 ns fetch vs 1 ns cycle).
+	run := func(ic *ICacheModel) Result {
+		nvm := mem.NewNVM(mem.DefaultNVMParams())
+		cfg := DefaultConfig()
+		cfg.ICache = ic
+		s, err := New(cfg, newWLStatic(nvm), nvm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run("c", func(m isa.Machine) uint32 { m.Compute(100000); return 1 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sramT := run(SRAMICache()).OnTime
+	nvT := run(NVICache()).OnTime
+	if nvT < 3*sramT {
+		t.Fatalf("NV I-fetch on-time %d not ~4x SRAM %d", nvT, sramT)
+	}
+}
+
+func TestICacheColdRefillChargedPerOutage(t *testing.T) {
+	run := func(ic *ICacheModel) Result {
+		nvm := mem.NewNVM(mem.DefaultNVMParams())
+		cfg := DefaultConfig()
+		cfg.Trace = power.Get(power.Trace1)
+		cfg.ICache = ic
+		s, err := New(cfg, newWLStatic(nvm), nvm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run("small", smallProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := run(SRAMICache())
+	warm := run(NVSRAMICache())
+	if cold.Outages == 0 {
+		t.Skip("no outages")
+	}
+	// The cold design pays CodeLines line fills per outage in restore
+	// time; the warm one does not.
+	if cold.RestoreTime <= warm.RestoreTime {
+		t.Fatalf("cold I-cache restore time %d not above warm %d", cold.RestoreTime, warm.RestoreTime)
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"wlcache/internal/energy"
+	"wlcache/internal/mem"
+	"wlcache/internal/stats"
+)
+
+// Result is everything a run produces.
+type Result struct {
+	Design   string
+	Workload string
+	Trace    string
+
+	// ExecTime is the wall-clock time (ps) from power-on to program
+	// completion, including on-periods, JIT checkpoints, off-period
+	// recharging and restores — the quantity Figures 5/6 speed up.
+	ExecTime int64
+	// Component times; ExecTime = OnTime + CheckpointTime + OffTime +
+	// RestoreTime.
+	OnTime         int64
+	CheckpointTime int64
+	OffTime        int64
+	RestoreTime    int64
+
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	Outages uint64
+
+	Energy     energy.Breakdown
+	NVMTraffic mem.Traffic
+	// ReserveWasted is the total energy (J) burned during power
+	// collapse: the JIT reserve that the checkpoint did not consume.
+	// Designs with larger reserves (NVSRAM) waste more per outage.
+	ReserveWasted float64
+
+	// Checksum is the workload's self-computed result digest; equal
+	// checksums across designs/traces certify value correctness.
+	Checksum uint32
+
+	Extra stats.DesignExtra
+}
+
+// Seconds converts ExecTime to seconds.
+func (r Result) Seconds() float64 { return float64(r.ExecTime) / 1e12 }
+
+// CPI returns cycles per instruction over the on-time only.
+func (r Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.OnTime) / 1000 / float64(r.Instructions)
+}
+
+// AvgDirtyAtCheckpoint returns the mean number of dirty lines flushed
+// per JIT checkpoint (§6.6).
+func (r Result) AvgDirtyAtCheckpoint() float64 {
+	if r.Outages == 0 {
+		return 0
+	}
+	return float64(r.Extra.CheckpointLines) / float64(r.Outages)
+}
+
+// String renders a human-readable summary.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s / %s / trace=%s\n", r.Workload, r.Design, r.Trace)
+	fmt.Fprintf(&b, "  exec time      %.6f s (on %.6f, ckpt %.6f, off %.6f, restore %.6f)\n",
+		r.Seconds(), float64(r.OnTime)/1e12, float64(r.CheckpointTime)/1e12,
+		float64(r.OffTime)/1e12, float64(r.RestoreTime)/1e12)
+	fmt.Fprintf(&b, "  instructions   %d (loads %d, stores %d), CPI %.2f\n",
+		r.Instructions, r.Loads, r.Stores, r.CPI())
+	fmt.Fprintf(&b, "  outages        %d (avg dirty lines/ckpt %.2f)\n", r.Outages, r.AvgDirtyAtCheckpoint())
+	fmt.Fprintf(&b, "  NVM traffic    %d B read, %d B written\n", r.NVMTraffic.ReadBytes(), r.NVMTraffic.WriteBytes())
+	e := r.Energy
+	fmt.Fprintf(&b, "  energy         %.3g J (cache r/w %.3g/%.3g, mem r/w %.3g/%.3g, compute %.3g, ckpt %.3g, restore %.3g, leak %.3g)\n",
+		e.Total(), e.CacheRead, e.CacheWrite, e.MemRead, e.MemWrite, e.Compute, e.Checkpoint, e.Restore, e.Leak)
+	fmt.Fprintf(&b, "  writebacks     %d async, %d stalls (%.3g s), %d reconfigs, checksum %#08x\n",
+		r.Extra.Writebacks, r.Extra.Stalls, float64(r.Extra.StallTime)/1e12, r.Extra.Reconfigs, r.Checksum)
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"wlcache/internal/mem"
+	"wlcache/internal/power"
+)
+
+// TestResultJSONRoundTrip pins the Result wire format consumed by
+// wlsim -json: every headline field must survive marshaling.
+func TestResultJSONRoundTrip(t *testing.T) {
+	nvm := mem.NewNVM(mem.DefaultNVMParams())
+	cfg := DefaultConfig()
+	cfg.Trace = power.Get(power.Trace1)
+	s, err := New(cfg, newWLStatic(nvm), nvm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run("small", smallProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ExecTime != res.ExecTime || back.Checksum != res.Checksum ||
+		back.Outages != res.Outages || back.Instructions != res.Instructions {
+		t.Fatal("JSON round trip lost fields")
+	}
+	if back.Energy.Total() != res.Energy.Total() {
+		t.Fatal("energy breakdown lost in JSON")
+	}
+	if back.NVMTraffic.WriteWords != res.NVMTraffic.WriteWords {
+		t.Fatal("traffic lost in JSON")
+	}
+}
+
+// TestAvgDirtyAtCheckpoint covers the §6.6 statistic helper.
+func TestAvgDirtyAtCheckpoint(t *testing.T) {
+	var r Result
+	if r.AvgDirtyAtCheckpoint() != 0 {
+		t.Fatal("zero outages must yield 0")
+	}
+	r.Outages = 4
+	r.Extra.CheckpointLines = 10
+	if got := r.AvgDirtyAtCheckpoint(); got != 2.5 {
+		t.Fatalf("avg = %g, want 2.5", got)
+	}
+}

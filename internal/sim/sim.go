@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"fmt"
+
+	"wlcache/internal/energy"
+	"wlcache/internal/isa"
+	"wlcache/internal/mem"
+)
+
+// defaultMaxOutages aborts runaway simulations that make no progress.
+const defaultMaxOutages = 5_000_000
+
+// Simulator executes one workload on one Design under one power
+// trace. It implements isa.Machine; the workload calls back into it.
+type Simulator struct {
+	cfg    Config
+	design Design
+	nvm    *mem.NVM
+	cap    *energy.Capacitor
+	golden *mem.Store
+
+	now      int64
+	bootTime int64
+	prevOn   int64
+	lastOn   int64
+
+	instrAtBoot uint64
+	noProgress  int
+
+	res Result
+	err error
+}
+
+// simAbort carries a fatal simulation error through the workload's
+// stack via panic/recover (workloads have no error channel).
+type simAbort struct{ err error }
+
+// New builds a simulator for the given design. The design must have
+// been constructed over nvm so that traffic accounting and durability
+// checks observe the same memory.
+func New(cfg Config, design Design, nvm *mem.NVM) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxOutages == 0 {
+		cfg.MaxOutages = defaultMaxOutages
+	}
+	s := &Simulator{
+		cfg:    cfg,
+		design: design,
+		nvm:    nvm,
+		cap:    energy.NewCapacitor(cfg.CapacitorF, cfg.VMin, cfg.VMax),
+		golden: mem.NewStore(),
+	}
+	// The initial boot happens with a full capacitor.
+	s.cap.SetVoltage(cfg.VMax)
+	if binder, ok := design.(EnergyProbeBinder); ok {
+		binder.BindEnergyProbe(s.probeReserve)
+	}
+	// Sanity: the initial reserve must be chargeable on this capacitor.
+	vb := cfg.Vbackup(design.ReserveEnergy())
+	if cfg.Von(vb) <= vb {
+		return nil, fmt.Errorf("sim: reserve %.3g J needs Vbackup %.3f V, unreachable below VMax %.3f V",
+			design.ReserveEnergy(), vb, cfg.VMax)
+	}
+	return s, nil
+}
+
+// probeReserve reports whether the capacitor currently holds enough
+// charge to adopt a larger JIT reserve (dynamic adaptation).
+func (s *Simulator) probeReserve(newReserve float64) bool {
+	if s.cfg.Trace == nil {
+		return true // unlimited power
+	}
+	vb := s.cfg.Vbackup(newReserve)
+	if s.cfg.Von(vb) <= vb {
+		return false
+	}
+	// Require some compute headroom above the raised threshold so the
+	// raise does not immediately trigger a checkpoint.
+	const headroom = 100e-9
+	return s.cap.EnergyAbove(vb) > headroom
+}
+
+// Run executes the program to completion and returns the collected
+// result. The program's return value is recorded as Result.Checksum.
+func (s *Simulator) Run(name string, program func(m isa.Machine) uint32) (res Result, err error) {
+	s.res = Result{Design: s.design.Name(), Workload: name, Trace: "none"}
+	if s.cfg.Trace != nil {
+		s.res.Trace = s.cfg.Trace.Name
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := r.(simAbort); ok {
+				res, err = s.res, a.err
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	// Initial charge-up: a harvesting device starts dead and must
+	// first fill the capacitor to Von. This is what makes very large
+	// buffers slow (Figure 10(b)): their charging time dominates.
+	if s.cfg.Trace != nil {
+		s.cap.SetVoltage(s.cfg.VMin)
+		von := s.cfg.Von(s.cfg.Vbackup(s.design.ReserveEnergy()))
+		need := 0.5 * s.cfg.CapacitorF * (von*von - s.cap.Voltage()*s.cap.Voltage())
+		dt, ok := s.cfg.Trace.TimeToHarvest(s.now, need)
+		if !ok {
+			return s.res, fmt.Errorf("trace %s can never charge the capacitor", s.cfg.Trace.Name)
+		}
+		s.res.OffTime += dt
+		s.now += dt
+		s.cap.SetVoltage(von)
+		s.bootTime = s.now
+	}
+
+	sum := program(s)
+	s.res.Checksum = sum
+	s.res.ExecTime = s.now
+
+	// Final shutdown flush: not part of the measured execution time,
+	// but it completes durability so the NVM image can be audited.
+	_, _ = s.design.Checkpoint(s.now)
+	if s.cfg.CheckInvariants {
+		if derr := s.design.DurableEqual(s.golden); derr != nil {
+			return s.res, fmt.Errorf("final durability check failed: %w", derr)
+		}
+	}
+	s.res.NVMTraffic = s.nvm.Traffic()
+	if es, ok := s.design.(ExtraStatser); ok {
+		s.res.Extra = es.ExtraStats()
+	}
+	return s.res, s.err
+}
+
+// Golden exposes the architectural reference image (tests).
+func (s *Simulator) Golden() *mem.Store { return s.golden }
+
+// Capacitor exposes the energy buffer (tests).
+func (s *Simulator) Capacitor() *energy.Capacitor { return s.cap }
+
+// Now returns the current simulated time in ps.
+func (s *Simulator) Now() int64 { return s.now }
+
+// --- isa.Machine implementation ---
+
+// Load32 performs an architectural load through the design.
+func (s *Simulator) Load32(addr uint32) uint32 {
+	v := s.access(isa.OpLoad, addr, 0)
+	s.res.Loads++
+	if s.cfg.CheckInvariants {
+		if g := s.golden.Read(addr); g != v {
+			s.abort(fmt.Errorf("load %#x returned %#x, architectural value is %#x (design %s)",
+				addr, v, g, s.design.Name()))
+		}
+	}
+	return v
+}
+
+// Store32 performs an architectural store through the design.
+func (s *Simulator) Store32(addr uint32, v uint32) {
+	s.golden.Write(addr, v)
+	s.access(isa.OpStore, addr, v)
+	s.res.Stores++
+}
+
+// Compute accounts for n ALU instructions, checking the voltage
+// monitor every ComputeChunk instructions.
+func (s *Simulator) Compute(n int) {
+	if n < 0 {
+		s.abort(fmt.Errorf("negative Compute(%d)", n))
+	}
+	perInstr := s.cfg.CyclePS + s.cfg.ICache.perInstrStall(s.cfg.CyclePS)
+	for n > 0 {
+		chunk := n
+		if chunk > s.cfg.ComputeChunk {
+			chunk = s.cfg.ComputeChunk
+		}
+		eb := energy.Breakdown{
+			Compute:   float64(chunk) * s.cfg.InstrEnergy,
+			CacheRead: float64(chunk) * s.cfg.ICache.instrEnergy(),
+		}
+		s.advance(s.now+int64(chunk)*perInstr, eb, &s.res.OnTime)
+		s.res.Instructions += uint64(chunk)
+		s.checkPower()
+		n -= chunk
+	}
+}
+
+// access runs one memory operation: the design models the hierarchy;
+// the simulator adds the 1-cycle pipeline slot and core energy.
+func (s *Simulator) access(op isa.Op, addr uint32, val uint32) uint32 {
+	v, done, eb := s.design.Access(s.now, op, addr, val)
+	end := s.now + s.cfg.CyclePS + s.cfg.ICache.perInstrStall(s.cfg.CyclePS)
+	if done > end {
+		end = done
+	}
+	eb.Compute += s.cfg.InstrEnergy
+	eb.CacheRead += s.cfg.ICache.instrEnergy()
+	s.advance(end, eb, &s.res.OnTime)
+	s.res.Instructions++
+	s.checkPower()
+	return v
+}
+
+// advance moves time to `to`, integrating harvest and drawing the
+// event energy plus leakage, and accumulating dt into the given phase
+// counter.
+func (s *Simulator) advance(to int64, eb energy.Breakdown, phase *int64) {
+	dt := to - s.now
+	if dt < 0 {
+		s.abort(fmt.Errorf("time went backwards: %d -> %d", s.now, to))
+	}
+	leak := s.design.LeakPower() * float64(dt) / 1e12
+	eb.Leak += leak
+	if s.cfg.Trace != nil {
+		s.cap.Harvest(s.cfg.OnHarvestEff * s.cfg.Trace.Integrate(s.now, to))
+		s.cap.Draw(eb.Total())
+	}
+	s.res.Energy.Add(eb)
+	*phase += dt
+	s.now = to
+}
+
+// checkPower triggers the JIT checkpoint + outage + restore sequence
+// when the capacitor has discharged to the design's Vbackup.
+func (s *Simulator) checkPower() {
+	if s.cfg.Trace == nil {
+		return
+	}
+	vb := s.cfg.Vbackup(s.design.ReserveEnergy())
+	if s.cap.Voltage() >= vb {
+		return
+	}
+	s.powerFail(vb)
+}
+
+func (s *Simulator) powerFail(vb float64) {
+	s.res.Outages++
+	if s.res.Outages > s.cfg.MaxOutages {
+		s.abort(fmt.Errorf("exceeded %d outages; configuration cannot make progress", s.cfg.MaxOutages))
+	}
+	onDur := s.now - s.bootTime
+
+	// JIT checkpoint, powered by the reserved energy band.
+	done, eb := s.design.Checkpoint(s.now)
+	s.advance(done, eb, &s.res.CheckpointTime)
+	if s.cap.Voltage() < s.cfg.VMin-1e-9 {
+		s.abort(fmt.Errorf("checkpoint exhausted the reserve: V=%.3f < VMin=%.3f (design %s)",
+			s.cap.Voltage(), s.cfg.VMin, s.design.Name()))
+	}
+	if s.cfg.CheckInvariants {
+		if err := s.design.DurableEqual(s.golden); err != nil {
+			s.abort(fmt.Errorf("crash consistency violated at outage %d: %w", s.res.Outages, err))
+		}
+	}
+
+	// Power collapse: below the operating threshold the dying
+	// regulator and monitor burn whatever reserve the checkpoint did
+	// not use — the reserved band is energy that could never be spent
+	// on computation (§1, §2.3.3). Recharge therefore restarts from
+	// VMin, and a design with a larger reserve wastes more per outage.
+	s.res.ReserveWasted += s.cap.EnergyAbove(s.cfg.VMin)
+	s.cap.SetVoltage(s.cfg.VMin)
+
+	// Power off: recharge to Von. The voltage threshold reflects the
+	// *current* reserve (it may have been adapted at this boot).
+	von := s.cfg.Von(s.cfg.Vbackup(s.design.ReserveEnergy()))
+	need := 0.5 * s.cfg.CapacitorF * (von*von - s.cap.Voltage()*s.cap.Voltage())
+	if need > 0 {
+		dt, ok := s.cfg.Trace.TimeToHarvest(s.now, need)
+		if !ok {
+			s.abort(fmt.Errorf("trace %s can never recharge %.3g J", s.cfg.Trace.Name, need))
+		}
+		s.res.OffTime += dt
+		s.now += dt
+	}
+	s.cap.SetVoltage(von)
+
+	// Boot: restore state, then let the runtime system adapt.
+	done, eb = s.design.Restore(s.now)
+	s.advance(done, eb, &s.res.RestoreTime)
+	// A volatile instruction cache comes back cold: refetch the code
+	// working set from NVM.
+	if dt, ieb := s.cfg.ICache.coldRefill(); dt > 0 {
+		s.advance(s.now+dt, ieb, &s.res.RestoreTime)
+	}
+	s.prevOn, s.lastOn = s.lastOn, onDur
+	if rb, ok := s.design.(Rebooter); ok {
+		rb.OnBoot(s.lastOn, s.prevOn)
+	}
+	s.bootTime = s.now
+
+	// Forward-progress guard: a period that retired no instructions.
+	if s.res.Instructions == s.instrAtBoot {
+		s.noProgress++
+		if s.noProgress >= 8 {
+			s.abort(fmt.Errorf("no forward progress across %d consecutive outages (design %s, trace %s)",
+				s.noProgress, s.design.Name(), s.cfg.Trace.Name))
+		}
+	} else {
+		s.noProgress = 0
+	}
+	s.instrAtBoot = s.res.Instructions
+}
+
+func (s *Simulator) abort(err error) {
+	panic(simAbort{err})
+}

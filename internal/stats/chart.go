@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders horizontal ASCII bar charts so wlbench output can
+// sketch the paper's figures directly in the terminal.
+type BarChart struct {
+	Title string
+	// RefValue draws a reference line label (e.g. the 1.0x baseline);
+	// NaN disables it.
+	RefValue float64
+	// Width is the bar area width in characters (default 40).
+	Width int
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// NewBarChart creates an empty chart.
+func NewBarChart(title string) *BarChart {
+	return &BarChart{Title: title, RefValue: math.NaN(), Width: 40}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.rows = append(c.rows, barRow{label, value})
+}
+
+// String renders the chart. Bars scale to the maximum value; the
+// reference value, when set and in range, is marked with '|'.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(c.rows) == 0 {
+		return b.String()
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	labelW := 0
+	for _, r := range c.rows {
+		if !math.IsNaN(r.value) && r.value > maxV {
+			maxV = r.value
+		}
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	refCol := -1
+	if !math.IsNaN(c.RefValue) && c.RefValue >= 0 && c.RefValue <= maxV {
+		refCol = int(math.Round(c.RefValue / maxV * float64(width)))
+	}
+	for _, r := range c.rows {
+		fmt.Fprintf(&b, "  %-*s ", labelW, r.label)
+		if math.IsNaN(r.value) {
+			b.WriteString(strings.Repeat(" ", width))
+			b.WriteString("      -\n")
+			continue
+		}
+		n := int(math.Round(r.value / maxV * float64(width)))
+		if n > width {
+			n = width
+		}
+		for col := 0; col < width; col++ {
+			switch {
+			case col < n:
+				b.WriteByte('#')
+			case col == refCol:
+				b.WriteByte('|')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Fprintf(&b, " %7.3f\n", r.value)
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBarChartRendering(t *testing.T) {
+	c := NewBarChart("demo")
+	c.RefValue = 1.0
+	c.Add("half", 0.5)
+	c.Add("full", 2.0)
+	out := c.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines, got %d:\n%s", len(lines), out)
+	}
+	halfBars := strings.Count(lines[1], "#")
+	fullBars := strings.Count(lines[2], "#")
+	if fullBars != 40 {
+		t.Fatalf("max bar should fill the width: %d", fullBars)
+	}
+	if halfBars < 8 || halfBars > 12 {
+		t.Fatalf("0.5/2.0 bar should be ~10 chars, got %d", halfBars)
+	}
+	// The 1.0 reference mark appears on the shorter bar's row.
+	if !strings.Contains(lines[1], "|") {
+		t.Fatal("reference mark missing")
+	}
+	if !strings.Contains(lines[1], "0.500") || !strings.Contains(lines[2], "2.000") {
+		t.Fatal("values missing")
+	}
+}
+
+func TestBarChartNaNRow(t *testing.T) {
+	c := NewBarChart("")
+	c.Add("gone", math.NaN())
+	c.Add("there", 1.0)
+	out := c.String()
+	if !strings.Contains(out, "-") {
+		t.Fatal("NaN row not rendered as dash")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	c := NewBarChart("t")
+	if !strings.Contains(c.String(), "t") {
+		t.Fatal("empty chart should still print its title")
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	c := NewBarChart("")
+	c.Add("z", 0)
+	if strings.Count(c.String(), "#") != 0 {
+		t.Fatal("zero value drew bars")
+	}
+}

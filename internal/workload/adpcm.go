@@ -1,0 +1,174 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// IMA ADPCM codec (MediaBench adpcm rawcaudio/rawdaudio): compresses
+// 16-bit PCM to 4-bit codes with an adaptive step size.
+
+var imaIndexTable = [16]int32{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+var imaStepTable = [89]int32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+const adpcmSamplesPerScale = 16384
+
+// adpcmGenInput synthesizes len(PCM) samples of a noisy multi-tone
+// signal into pcm (stores through the cache).
+func adpcmGenInput(e *Env, pcm Arr, seed uint32) {
+	r := newRNG(seed)
+	phase1, phase2 := int32(0), int32(0)
+	for i := 0; i < pcm.Len(); i++ {
+		phase1 = (phase1 + 311) & 0x7fff
+		phase2 = (phase2 + 1013) & 0x7fff
+		s := triWave(phase1)/2 + triWave(phase2)/4 + int32(r.intn(1024)) - 512
+		if s > 32767 {
+			s = 32767
+		}
+		if s < -32768 {
+			s = -32768
+		}
+		pcm.StoreI(i, s)
+		e.Compute(8)
+	}
+}
+
+// triWave maps a 15-bit phase to a triangle wave in [-16384, 16384].
+func triWave(phase int32) int32 {
+	if phase < 0x4000 {
+		return phase - 0x2000
+	}
+	return 0x6000 - phase
+}
+
+// adpcmEncodeCore encodes pcm into 4-bit codes packed 8 per word.
+func adpcmEncodeCore(e *Env, pcm, out Arr) {
+	valpred := int32(0)
+	index := int32(0)
+	var packed uint32
+	nib := 0
+	oi := 0
+	for i := 0; i < pcm.Len(); i++ {
+		sample := pcm.LoadI(i)
+		step := imaStepTable[index]
+		diff := sample - valpred
+		var code int32
+		if diff < 0 {
+			code = 8
+			diff = -diff
+		}
+		// Successive approximation of diff/step in 3 bits.
+		tempStep := step
+		if diff >= tempStep {
+			code |= 4
+			diff -= tempStep
+		}
+		tempStep >>= 1
+		if diff >= tempStep {
+			code |= 2
+			diff -= tempStep
+		}
+		tempStep >>= 1
+		if diff >= tempStep {
+			code |= 1
+		}
+		// Reconstruct the predictor exactly as the decoder will.
+		valpred = imaReconstruct(valpred, code, step)
+		index += imaIndexTable[code&15]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		packed |= uint32(code&15) << (4 * nib)
+		nib++
+		if nib == 8 {
+			out.Store(oi, packed)
+			oi++
+			packed, nib = 0, 0
+		}
+		e.Compute(18)
+	}
+	if nib > 0 {
+		out.Store(oi, packed)
+	}
+}
+
+// imaReconstruct applies one ADPCM update step shared by encoder and
+// decoder.
+func imaReconstruct(valpred, code, step int32) int32 {
+	vpdiff := step >> 3
+	if code&4 != 0 {
+		vpdiff += step
+	}
+	if code&2 != 0 {
+		vpdiff += step >> 1
+	}
+	if code&1 != 0 {
+		vpdiff += step >> 2
+	}
+	if code&8 != 0 {
+		valpred -= vpdiff
+	} else {
+		valpred += vpdiff
+	}
+	if valpred > 32767 {
+		valpred = 32767
+	}
+	if valpred < -32768 {
+		valpred = -32768
+	}
+	return valpred
+}
+
+// adpcmDecodeCore expands packed 4-bit codes back to PCM.
+func adpcmDecodeCore(e *Env, in Arr, nSamples int, out Arr) {
+	valpred := int32(0)
+	index := int32(0)
+	for i := 0; i < nSamples; i++ {
+		word := in.Load(i / 8)
+		code := int32(word>>(4*(i%8))) & 15
+		step := imaStepTable[index]
+		valpred = imaReconstruct(valpred, code, step)
+		index += imaIndexTable[code]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		out.StoreI(i, valpred)
+		e.Compute(14)
+	}
+}
+
+func adpcmEncodeRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	n := adpcmSamplesPerScale * scale
+	pcm := e.Alloc(n)
+	out := e.Alloc(n/8 + 1)
+	adpcmGenInput(e, pcm, 0xada5eed)
+	adpcmEncodeCore(e, pcm, out)
+	return out.Checksum(0)
+}
+
+func adpcmDecodeRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	n := adpcmSamplesPerScale * scale
+	pcm := e.Alloc(n)
+	codes := e.Alloc(n/8 + 1)
+	out := e.Alloc(n)
+	adpcmGenInput(e, pcm, 0xada5eed)
+	adpcmEncodeCore(e, pcm, codes) // produce a real bitstream to decode
+	adpcmDecodeCore(e, codes, n, out)
+	return out.Checksum(0)
+}

@@ -1,0 +1,85 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// basicmath (MiBench): cubic-equation roots, integer square roots and
+// angle conversions, all in integer/fixed-point arithmetic. The
+// original is compute-dominated with light memory traffic; outputs
+// are stored to memory and checksummed.
+
+const basicmathItersPerScale = 6000
+
+func basicmathRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	iters := basicmathItersPerScale * scale
+	out := e.Alloc(4096)
+	oi := 0
+	put := func(v uint32) {
+		out.Store(oi%out.Len(), v)
+		oi++
+	}
+
+	h := uint32(2166136261)
+	r := newRNG(0xba51c)
+	for i := 0; i < iters; i++ {
+		// Integer square root of a pseudo-random 31-bit value
+		// (binary restoring method, as in the C isqrt).
+		x := r.next() >> 1
+		root := isqrt32(x)
+		e.Compute(64) // 16 iterations x ~4 ops
+		put(root)
+		h = mix(h, root)
+
+		// Find a real root of x^3 + ax^2 + bx + c via fixed-point
+		// Newton iteration (the cubic() part of the C workload).
+		a := int64(int32(r.next()%41) - 20)
+		b := int64(int32(r.next()%41) - 20)
+		c := int64(int32(r.next()%41) - 20)
+		xq := int64(3 << 16) // Q16 initial guess 3.0
+		for it := 0; it < 10; it++ {
+			x2 := (xq * xq) >> 16                    // Q16
+			f := ((x2*xq)>>16 + a*x2 + b*xq + c<<16) // Q16
+			fp := 3*x2 + 2*a*xq + b<<16              // Q16
+			if fp == 0 {
+				break
+			}
+			xq -= (f << 16) / fp
+			// Clamp to a sane Q16 range to keep the fixed-point math
+			// meaningful when Newton overshoots.
+			if xq > 1<<24 {
+				xq = 1 << 24
+			} else if xq < -(1 << 24) {
+				xq = -(1 << 24)
+			}
+			e.Compute(16)
+		}
+		put(uint32(int32(xq)))
+		h = mix(h, uint32(int32(xq)))
+
+		// Degree <-> radian conversions in Q16.
+		deg := int64(r.intn(360)) << 16
+		rad := deg * 182 >> 10 // ~pi/180 in Q16-ish
+		back := rad * 5760 / 1005 >> 10
+		e.Compute(20)
+		put(uint32(rad))
+		put(uint32(back))
+		h = mix(h, uint32(rad))
+	}
+	_ = oi
+	return mix(h, out.Checksum(h))
+}
+
+// isqrt32 computes floor(sqrt(x)) by the restoring shift method.
+func isqrt32(x uint32) uint32 {
+	var root, rem uint32
+	for i := 0; i < 16; i++ {
+		root <<= 1
+		rem = (rem << 2) | (x >> 30)
+		x <<= 2
+		if root < rem {
+			rem -= root + 1
+			root += 2
+		}
+	}
+	return root >> 1
+}

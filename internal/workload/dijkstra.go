@@ -1,0 +1,77 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// dijkstra (MiBench): single-source shortest paths over a dense
+// adjacency matrix, repeated for several sources as the original
+// workload does for many (src, dst) pairs.
+
+const (
+	dijkstraNodes   = 128
+	dijkstraSources = 6
+	dijkstraInf     = 0x3fffffff
+)
+
+func dijkstraRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	n := dijkstraNodes
+	adj := e.Alloc(n * n)
+	dist := e.Alloc(n)
+	visited := e.Alloc(n)
+
+	r := newRNG(0xd17c57a)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				adj.Store(i*n+j, 0)
+			case r.intn(100) < 12: // sparse-ish connectivity
+				adj.Store(i*n+j, uint32(1+r.intn(97)))
+			default:
+				adj.Store(i*n+j, dijkstraInf)
+			}
+			e.Compute(4)
+		}
+	}
+
+	h := uint32(2166136261)
+	runs := dijkstraSources * scale
+	for s := 0; s < runs; s++ {
+		src := (s * 31) % n
+		for i := 0; i < n; i++ {
+			dist.Store(i, dijkstraInf)
+			visited.Store(i, 0)
+			e.Compute(2)
+		}
+		dist.Store(src, 0)
+		for iter := 0; iter < n; iter++ {
+			// Select the unvisited node with the smallest distance.
+			best, bestD := -1, uint32(dijkstraInf+1)
+			for i := 0; i < n; i++ {
+				if visited.Load(i) == 0 {
+					if d := dist.Load(i); d < bestD {
+						best, bestD = i, d
+					}
+				}
+				e.Compute(4)
+			}
+			if best < 0 || bestD >= dijkstraInf {
+				break
+			}
+			visited.Store(best, 1)
+			// Relax its out-edges.
+			for j := 0; j < n; j++ {
+				w := adj.Load(best*n + j)
+				if w < dijkstraInf {
+					nd := bestD + w
+					if nd < dist.Load(j) {
+						dist.Store(j, nd)
+					}
+				}
+				e.Compute(5)
+			}
+		}
+		h = mix(h, dist.Checksum(h))
+	}
+	return h
+}

@@ -1,0 +1,224 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// epic (MediaBench): Efficient Pyramid Image Coder — a Laplacian
+// pyramid built with a separable 5-tap binomial filter, band
+// quantization and run-length entropy packing, the structure of the
+// original coder (filter -> downsample -> difference -> quantize).
+
+const (
+	epicW      = 128
+	epicH      = 128
+	epicLevels = 4
+)
+
+// epicFilterRow applies the [1 4 6 4 1]/16 kernel horizontally.
+func epicFilterRow(e *Env, src Arr, w, h int, dst Arr) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			xm2, xm1 := maxInt(x-2, 0), maxInt(x-1, 0)
+			xp1, xp2 := minInt(x+1, w-1), minInt(x+2, w-1)
+			v := src.LoadI(y*w+xm2) + 4*src.LoadI(y*w+xm1) + 6*src.LoadI(y*w+x) +
+				4*src.LoadI(y*w+xp1) + src.LoadI(y*w+xp2)
+			dst.StoreI(y*w+x, v>>4)
+			e.Compute(12)
+		}
+	}
+}
+
+// epicFilterCol applies the kernel vertically.
+func epicFilterCol(e *Env, src Arr, w, h int, dst Arr) {
+	for y := 0; y < h; y++ {
+		ym2, ym1 := maxInt(y-2, 0), maxInt(y-1, 0)
+		yp1, yp2 := minInt(y+1, h-1), minInt(y+2, h-1)
+		for x := 0; x < w; x++ {
+			v := src.LoadI(ym2*w+x) + 4*src.LoadI(ym1*w+x) + 6*src.LoadI(y*w+x) +
+				4*src.LoadI(yp1*w+x) + src.LoadI(yp2*w+x)
+			dst.StoreI(y*w+x, v>>4)
+			e.Compute(12)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func epicRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	img := e.Alloc(epicW * epicH)
+	smooth := e.Alloc(epicW * epicH)
+	tmp := e.Alloc(epicW * epicH)
+	down := e.Alloc(epicW * epicH / 4)
+	stream := e.Alloc(epicW * epicH)
+
+	h := uint32(0)
+	for frame := 0; frame < scale; frame++ {
+		// Synthesize the input image.
+		r := newRNG(0xe91c + uint32(frame))
+		for y := 0; y < epicH; y++ {
+			for x := 0; x < epicW; x++ {
+				v := int32(((x*x + y*y) >> 5 & 0xff) + r.intn(9))
+				img.StoreI(y*epicW+x, v)
+				e.Compute(5)
+			}
+		}
+
+		si := 0
+		emit := func(v int32) {
+			if si < stream.Len() {
+				stream.StoreI(si, v)
+				si++
+			}
+		}
+		w, hh := epicW, epicH
+		cur := img
+		for level := 0; level < epicLevels; level++ {
+			// Low-pass the current level.
+			epicFilterRow(e, cur, w, hh, tmp)
+			epicFilterCol(e, tmp, w, hh, smooth)
+			// Laplacian band = current - smooth; quantize + RLE.
+			q := int32(4 << level) // coarser at finer levels
+			run := int32(0)
+			for i := 0; i < w*hh; i++ {
+				d := (cur.LoadI(i) - smooth.LoadI(i)) / q
+				if d == 0 {
+					run++
+				} else {
+					emit(run)
+					emit(d)
+					run = 0
+				}
+				e.Compute(6)
+			}
+			emit(-1)
+			// Downsample the smooth image 2x for the next level.
+			w2, h2 := w/2, hh/2
+			for y := 0; y < h2; y++ {
+				for x := 0; x < w2; x++ {
+					down.StoreI(y*w2+x, smooth.LoadI((2*y)*w+2*x))
+					e.Compute(4)
+				}
+			}
+			// Copy down -> cur for the next iteration.
+			for i := 0; i < w2*h2; i++ {
+				cur.StoreI(i, down.LoadI(i))
+				e.Compute(2)
+			}
+			w, hh = w2, h2
+		}
+		// Emit the final low-pass residue.
+		for i := 0; i < w*hh; i++ {
+			emit(cur.LoadI(i))
+			e.Compute(2)
+		}
+		h = mix(h, uint32(si))
+		h = mix(h, stream.Slice(0, si).Checksum(h))
+	}
+	return h
+}
+
+// epicDecode reconstructs an image from an EPIC stream (the "unepic"
+// half of the original benchmark pair). It replays the levels in
+// encoding order: for each level it decodes the RLE-quantized
+// Laplacian band, and at the end reads the final low-pass residue;
+// reconstruction then walks back up the pyramid (upsample + add band).
+// Used by the round-trip validation tests; the paper's benchmark list
+// contains only the encoder.
+func epicDecode(e *Env, stream Arr, words int, out Arr) {
+	si := 0
+	read := func() int32 {
+		if si >= words {
+			return 0
+		}
+		v := stream.LoadI(si)
+		si++
+		return v
+	}
+	// Decode every level's band into its own region of a scratch
+	// buffer sized like the full image.
+	type level struct {
+		w, h int
+		band Arr
+	}
+	var levels []level
+	w, h := epicW, epicH
+	for l := 0; l < epicLevels; l++ {
+		band := e.Alloc(w * h)
+		q := int32(4 << l)
+		i := 0
+		sawEnd := false
+		for i < w*h {
+			run := read()
+			if run == -1 {
+				sawEnd = true
+				break
+			}
+			val := read()
+			for r := int32(0); r < run && i < w*h; r++ {
+				band.StoreI(i, 0)
+				i++
+			}
+			if i < w*h {
+				band.StoreI(i, val*q)
+				i++
+			}
+			e.Compute(6)
+		}
+		for ; i < w*h; i++ {
+			band.StoreI(i, 0)
+		}
+		// Consume up to the end-of-band marker when the band filled up
+		// before the encoder's trailing -1 was read.
+		for !sawEnd && si < words {
+			if read() == -1 {
+				sawEnd = true
+			}
+		}
+		levels = append(levels, level{w, h, band})
+		w, h = w/2, h/2
+	}
+	// Final low-pass residue.
+	low := e.Alloc(w * h)
+	for i := 0; i < w*h; i++ {
+		low.StoreI(i, read())
+		e.Compute(2)
+	}
+	// Walk back up: bilinearly upsample the low image 2x (a cheap
+	// synthesis filter approximating the encoder's smoothing) and add
+	// the band.
+	cur := low
+	cw, ch := w, h
+	for l := epicLevels - 1; l >= 0; l-- {
+		lw, lh := levels[l].w, levels[l].h
+		up := e.Alloc(lw * lh)
+		sample := func(y, x int) int32 {
+			return cur.LoadI(minInt(y, ch-1)*cw + minInt(x, cw-1))
+		}
+		for y := 0; y < lh; y++ {
+			for x := 0; x < lw; x++ {
+				y0, x0 := y/2, x/2
+				v := sample(y0, x0)
+				switch {
+				case y%2 == 1 && x%2 == 1:
+					v = (sample(y0, x0) + sample(y0, x0+1) + sample(y0+1, x0) + sample(y0+1, x0+1)) / 4
+				case y%2 == 1:
+					v = (sample(y0, x0) + sample(y0+1, x0)) / 2
+				case x%2 == 1:
+					v = (sample(y0, x0) + sample(y0, x0+1)) / 2
+				}
+				up.StoreI(y*lw+x, v+levels[l].band.LoadI(y*lw+x))
+				e.Compute(10)
+			}
+		}
+		cur, cw, ch = up, lw, lh
+	}
+	for i := 0; i < epicW*epicH; i++ {
+		out.StoreI(i, cur.LoadI(i))
+		e.Compute(2)
+	}
+}

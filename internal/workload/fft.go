@@ -1,0 +1,131 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// FFT / FFT_i (MiBench): in-place radix-2 decimation-in-time FFT over
+// Q15 fixed-point complex samples, with a quarter-wave sine table in
+// simulated memory, plus the inverse transform for FFT_i. FFT_i
+// round-trips (forward then inverse) as the MiBench -i mode does.
+
+const (
+	fftSize       = 1024 // points per transform
+	fftLog2       = 10
+	fftRunsPerSc  = 6
+	q15One        = 1 << 15
+	sineTableSize = fftSize
+)
+
+// fftSineTable fills a full-wave Q15 sine table using an integer
+// rotation recurrence (no floats, embedded style). The small drift of
+// the recurrence is irrelevant: the same table drives the forward and
+// inverse transforms deterministically.
+func fftSineTable(e *Env, tab Arr) {
+	// (s, c) rotate by 2*pi/fftSize per step, Q15.
+	const cosQ, sinQ = 32757, 201 // cos/sin(2*pi/1024) in Q15
+	s, c := int32(0), int32(q15One-1)
+	for k := 0; k < tab.Len(); k++ {
+		tab.StoreI(k, s)
+		ns := (s*cosQ + c*sinQ) >> 15
+		nc := (c*cosQ - s*sinQ) >> 15
+		s, c = ns, nc
+		e.Compute(10)
+	}
+}
+
+// fftSin returns sin(2*pi*k/fftSize) in Q15.
+func fftSin(tab Arr, k int) int32 {
+	return tab.LoadI(k & (fftSize - 1))
+}
+
+// fftCore performs the in-place transform; invert selects the inverse
+// (conjugated twiddles and per-stage scaling).
+func fftCore(e *Env, re, im, tab Arr, invert bool) {
+	n := fftSize
+	// Bit reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			ri, rj := re.LoadI(i), re.LoadI(j)
+			re.StoreI(i, rj)
+			re.StoreI(j, ri)
+			ii, ij := im.LoadI(i), im.LoadI(j)
+			im.StoreI(i, ij)
+			im.StoreI(j, ii)
+		}
+		k := n >> 1
+		for k >= 1 && j >= k {
+			j -= k
+			k >>= 1
+		}
+		j += k
+		e.Compute(8)
+	}
+	for stage := 1; stage <= fftLog2; stage++ {
+		m := 1 << stage
+		half := m >> 1
+		step := n / m
+		for k := 0; k < half; k++ {
+			wi := fftSin(tab, k*step)           // sin
+			wr := fftSin(tab, k*step+fftSize/4) // cos = sin(x+pi/2)
+			if !invert {
+				wi = -wi
+			}
+			for i := k; i < n; i += m {
+				j := i + half
+				tr := (re.LoadI(j)*wr - im.LoadI(j)*wi) >> 15
+				ti := (re.LoadI(j)*wi + im.LoadI(j)*wr) >> 15
+				ur, ui := re.LoadI(i), im.LoadI(i)
+				// Scale each stage by 1/2 to avoid overflow (standard
+				// fixed-point FFT practice).
+				re.StoreI(j, (ur-tr)>>1)
+				im.StoreI(j, (ui-ti)>>1)
+				re.StoreI(i, (ur+tr)>>1)
+				im.StoreI(i, (ui+ti)>>1)
+				e.Compute(14)
+			}
+		}
+	}
+}
+
+func fftPrepare(e *Env, re, im Arr, seed uint32) {
+	r := newRNG(seed)
+	for i := 0; i < fftSize; i++ {
+		re.StoreI(i, int32(r.intn(q15One))-q15One/2)
+		im.StoreI(i, 0)
+		e.Compute(4)
+	}
+}
+
+func fftRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	re := e.Alloc(fftSize)
+	e.Alloc(16) // stagger the 4 KB-aligned arrays across cache sets
+	im := e.Alloc(fftSize)
+	e.Alloc(16)
+	tab := e.Alloc(sineTableSize)
+	fftSineTable(e, tab)
+	h := uint32(0)
+	for run := 0; run < fftRunsPerSc*scale; run++ {
+		fftPrepare(e, re, im, 0xff7+uint32(run))
+		fftCore(e, re, im, tab, false)
+		h = mix(re.Checksum(h), im.Checksum(h))
+	}
+	return h
+}
+
+func ifftRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	re := e.Alloc(fftSize)
+	e.Alloc(16)
+	im := e.Alloc(fftSize)
+	e.Alloc(16)
+	tab := e.Alloc(sineTableSize)
+	fftSineTable(e, tab)
+	h := uint32(0)
+	for run := 0; run < fftRunsPerSc*scale; run++ {
+		fftPrepare(e, re, im, 0x1ff7+uint32(run))
+		fftCore(e, re, im, tab, false)
+		fftCore(e, re, im, tab, true) // inverse round-trip
+		h = mix(re.Checksum(h), im.Checksum(h))
+	}
+	return h
+}

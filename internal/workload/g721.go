@@ -1,0 +1,218 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// g721encode / g721decode (MediaBench): G.721 32 kbit/s ADPCM with an
+// adaptive predictor (2 poles + 6 zeros, sign-sign LMS adaptation)
+// and an adaptive 4-bit quantizer with a logarithmic scale factor —
+// the structure of the ITU reference code in fixed point.
+
+const g721SamplesPerScale = 8192
+
+// g721State is the codec state; it lives in simulated memory (12
+// words) exactly like the C struct the reference code carries around.
+type g721State struct {
+	s Arr // [0..1] a poles, [2..7] b zeros, [8..13] dq history, [14..15] sr history, [16] y scale
+}
+
+const (
+	g721A   = 0  // 2 pole coefficients
+	g721B   = 2  // 6 zero coefficients
+	g721DQ  = 8  // 6 past quantized differences
+	g721SR  = 14 // 2 past reconstructed signals
+	g721Y   = 16 // quantizer scale factor (Q4 log domain)
+	g721Len = 17
+)
+
+func newG721State(e *Env) *g721State {
+	st := &g721State{s: e.Alloc(g721Len)}
+	for i := 0; i < g721Len; i++ {
+		st.s.StoreI(i, 0)
+	}
+	st.s.StoreI(g721Y, 544) // initial scale, as in the reference
+	return st
+}
+
+// predict computes the signal estimate se from pole/zero filters.
+func (st *g721State) predict(e *Env) int32 {
+	var sez int32
+	for i := 0; i < 6; i++ {
+		sez += (st.s.LoadI(g721B+i) * st.s.LoadI(g721DQ+i)) >> 14
+		e.Compute(4)
+	}
+	se := sez
+	for i := 0; i < 2; i++ {
+		se += (st.s.LoadI(g721A+i) * st.s.LoadI(g721SR+i)) >> 14
+		e.Compute(4)
+	}
+	return se
+}
+
+// quantize maps the difference d to a 4-bit code using the scale y.
+func g721Quantize(d, y int32) int32 {
+	sign := int32(0)
+	if d < 0 {
+		sign = 8
+		d = -d
+	}
+	// log2-ish companding: compare against scaled decision levels.
+	step := y >> 2
+	if step < 1 {
+		step = 1
+	}
+	q := d / step
+	if q > 7 {
+		q = 7
+	}
+	return sign | q
+}
+
+// dequantize reconstructs the difference from code and scale.
+func g721Dequantize(code, y int32) int32 {
+	step := y >> 2
+	if step < 1 {
+		step = 1
+	}
+	mag := (code&7)*step + step/2
+	if code&8 != 0 {
+		return -mag
+	}
+	return mag
+}
+
+// update adapts the quantizer scale and the predictor coefficients
+// (sign-sign LMS with leakage, as the reference does).
+func (st *g721State) update(e *Env, code, dq, sr int32) {
+	// Scale factor adaptation: fast log-domain step.
+	y := st.s.LoadI(g721Y)
+	var dy int32
+	switch code & 7 {
+	case 0, 1:
+		dy = -4
+	case 2, 3:
+		dy = 0
+	case 4, 5:
+		dy = 8
+	default:
+		dy = 16
+	}
+	y += dy
+	if y < 80 {
+		y = 80
+	}
+	if y > 5120 {
+		y = 5120
+	}
+	st.s.StoreI(g721Y, y)
+
+	// Zero (FIR) coefficients: sign-sign LMS with 1/256 leakage.
+	for i := 0; i < 6; i++ {
+		b := st.s.LoadI(g721B + i)
+		b -= b >> 8
+		if dqi := st.s.LoadI(g721DQ + i); (dqi >= 0) == (dq >= 0) && dq != 0 && dqi != 0 {
+			b += 128
+		} else if dq != 0 && dqi != 0 {
+			b -= 128
+		}
+		st.s.StoreI(g721B+i, clamp32(b, -16384, 16383))
+		e.Compute(8)
+	}
+	// Pole (IIR) coefficients with stability clamps.
+	for i := 0; i < 2; i++ {
+		a := st.s.LoadI(g721A + i)
+		a -= a >> 8
+		if sri := st.s.LoadI(g721SR + i); (sri >= 0) == (sr >= 0) && sr != 0 && sri != 0 {
+			a += 96
+		} else if sr != 0 && sri != 0 {
+			a -= 96
+		}
+		st.s.StoreI(g721A+i, clamp32(a, -12288, 12288))
+		e.Compute(8)
+	}
+	// Shift histories.
+	for i := 5; i > 0; i-- {
+		st.s.StoreI(g721DQ+i, st.s.LoadI(g721DQ+i-1))
+		e.Compute(2)
+	}
+	st.s.StoreI(g721DQ, dq)
+	st.s.StoreI(g721SR+1, st.s.LoadI(g721SR))
+	st.s.StoreI(g721SR, sr)
+	e.Compute(6)
+}
+
+func clamp32(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// g721EncodeCore codes pcm into 4-bit codes packed 8 per word.
+func g721EncodeCore(e *Env, st *g721State, pcm, out Arr) {
+	var packed uint32
+	nib, oi := 0, 0
+	for i := 0; i < pcm.Len(); i++ {
+		x := pcm.LoadI(i)
+		se := st.predict(e)
+		d := x - se
+		y := st.s.LoadI(g721Y)
+		code := g721Quantize(d, y)
+		dq := g721Dequantize(code, y)
+		sr := clamp32(se+dq, -32768, 32767)
+		st.update(e, code, dq, sr)
+		packed |= uint32(code&15) << (4 * nib)
+		nib++
+		if nib == 8 {
+			out.Store(oi, packed)
+			oi++
+			packed, nib = 0, 0
+		}
+		e.Compute(14)
+	}
+	if nib > 0 {
+		out.Store(oi, packed)
+	}
+}
+
+// g721DecodeCore reconstructs PCM from the packed codes.
+func g721DecodeCore(e *Env, st *g721State, in Arr, n int, out Arr) {
+	for i := 0; i < n; i++ {
+		word := in.Load(i / 8)
+		code := int32(word>>(4*(i%8))) & 15
+		se := st.predict(e)
+		y := st.s.LoadI(g721Y)
+		dq := g721Dequantize(code, y)
+		sr := clamp32(se+dq, -32768, 32767)
+		st.update(e, code, dq, sr)
+		out.StoreI(i, sr)
+		e.Compute(12)
+	}
+}
+
+func g721EncodeRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	n := g721SamplesPerScale * scale
+	pcm := e.Alloc(n)
+	out := e.Alloc(n/8 + 1)
+	adpcmGenInput(e, pcm, 0x672100)
+	st := newG721State(e)
+	g721EncodeCore(e, st, pcm, out)
+	return out.Checksum(0)
+}
+
+func g721DecodeRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	n := g721SamplesPerScale * scale
+	pcm := e.Alloc(n)
+	codes := e.Alloc(n/8 + 1)
+	out := e.Alloc(n)
+	adpcmGenInput(e, pcm, 0x672100)
+	enc := newG721State(e)
+	g721EncodeCore(e, enc, pcm, codes)
+	dec := newG721State(e)
+	g721DecodeCore(e, dec, codes, n, out)
+	return out.Checksum(0)
+}

@@ -1,0 +1,54 @@
+package workload
+
+import "testing"
+
+// goldenChecksums pins every kernel's scale-1 output digest. These
+// values must be identical on every platform and across refactors:
+// the crash-consistency test suite depends on checksums being a
+// faithful function of the computation. Update a value only when the
+// corresponding kernel is intentionally changed.
+var goldenChecksums = map[string]uint32{
+	"adpcmdecode":   0xa3401bda,
+	"adpcmencode":   0xbe11c7ab,
+	"epic":          0xa4402790,
+	"g721decode":    0x4984edb7,
+	"g721encode":    0x493f83fe,
+	"gsmdecode":     0xfc5fdeb3,
+	"gsmencode":     0x2786df62,
+	"jpegdecode":    0x6f00685f,
+	"jpegencode":    0x6f74a716,
+	"mpeg2decode":   0x804d630a,
+	"mpeg2encode":   0x3f33d332,
+	"pegwitdecrypt": 0x8ad121c7,
+	"sha":           0x9e58a28e,
+	"susancorners":  0x660eb52c,
+	"susanedges":    0xb172d65b,
+	"basicmath":     0xaec24eb0,
+	"qsort":         0x6dd053d8,
+	"dijkstra":      0x9f63c53a,
+	"FFT":           0x7147f734,
+	"FFT_i":         0x9b25c7fe,
+	"patricia":      0x240f4f2c,
+	"rijndael_d":    0x4cb423cc,
+	"rijndael_e":    0x2dbcee9e,
+}
+
+func TestGoldenChecksums(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			want, ok := goldenChecksums[w.Name]
+			if !ok {
+				t.Fatalf("no golden checksum for %s — add it", w.Name)
+			}
+			got := w.Run(newFlat(), 1)
+			if got != want {
+				t.Fatalf("checksum %#08x, golden %#08x (kernel behavior changed)", got, want)
+			}
+		})
+	}
+	if len(goldenChecksums) != len(All()) {
+		t.Fatalf("golden table has %d entries, registry %d", len(goldenChecksums), len(All()))
+	}
+}

@@ -1,0 +1,260 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// jpegencode / jpegdecode (MediaBench cjpeg/djpeg): the DCT-based
+// still-image pipeline — 8x8 block forward DCT (AAN-style integer),
+// quantization, zigzag + run-length entropy packing; the decoder
+// reverses it. The image, coefficient buffers and bitstream live in
+// simulated memory.
+
+const (
+	jpegW = 128
+	jpegH = 96
+)
+
+// jpegZigzag maps scan order to block offsets.
+var jpegZigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// jpegQuant is the standard luminance quantization table.
+var jpegQuant = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// jpegImage synthesizes a photo-like test image.
+func jpegImage(e *Env, img Arr, seed uint32) {
+	r := newRNG(seed)
+	for y := 0; y < jpegH; y++ {
+		for x := 0; x < jpegW; x++ {
+			v := int32(128 + triWave(int32((x*97+y*61)&0x7fff))/300 + int32(r.intn(17)) - 8)
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			img.StoreI(y*jpegW+x, v)
+			e.Compute(7)
+		}
+	}
+}
+
+// dct1D performs an 8-point integer DCT on blk[off], blk[off+stride],
+// ... in place (12-bit fixed point, Loeffler-style butterflies
+// approximated with shifts/adds as the libjpeg islow path does).
+func dct1D(e *Env, blk Arr, off, stride int) {
+	i := func(k int) int { return off + k*stride }
+	s0, s1, s2, s3 := blk.LoadI(i(0)), blk.LoadI(i(1)), blk.LoadI(i(2)), blk.LoadI(i(3))
+	s4, s5, s6, s7 := blk.LoadI(i(4)), blk.LoadI(i(5)), blk.LoadI(i(6)), blk.LoadI(i(7))
+	t0, t7 := s0+s7, s0-s7
+	t1, t6 := s1+s6, s1-s6
+	t2, t5 := s2+s5, s2-s5
+	t3, t4 := s3+s4, s3-s4
+	u0, u3 := t0+t3, t0-t3
+	u1, u2 := t1+t2, t1-t2
+	blk.StoreI(i(0), u0+u1)
+	blk.StoreI(i(4), u0-u1)
+	// c = cos tables in Q12.
+	const c2, c6 = 3784, 1567 // cos(pi/8)*4096*? (scaled pair)
+	blk.StoreI(i(2), (u3*c2+u2*c6)>>12)
+	blk.StoreI(i(6), (u3*c6-u2*c2)>>12)
+	const c1, c3, c5, c7 = 4017, 3406, 2276, 799
+	blk.StoreI(i(1), (t7*c1+t6*c3+t5*c5+t4*c7)>>12)
+	blk.StoreI(i(3), (t7*c3-t6*c7-t5*c1-t4*c5)>>12)
+	blk.StoreI(i(5), (t7*c5-t6*c1+t5*c7+t4*c3)>>12)
+	blk.StoreI(i(7), (t7*c7-t6*c5+t5*c3-t4*c1)>>12)
+	e.Compute(42)
+}
+
+// idct1D is the matching inverse (transpose of the forward matrix,
+// same coefficients).
+func idct1D(e *Env, blk Arr, off, stride int) {
+	i := func(k int) int { return off + k*stride }
+	x0, x1, x2, x3 := blk.LoadI(i(0)), blk.LoadI(i(1)), blk.LoadI(i(2)), blk.LoadI(i(3))
+	x4, x5, x6, x7 := blk.LoadI(i(4)), blk.LoadI(i(5)), blk.LoadI(i(6)), blk.LoadI(i(7))
+	const c2, c6 = 3784, 1567
+	const c1, c3, c5, c7 = 4017, 3406, 2276, 799
+	u0 := (x0 + x4) << 0
+	u1 := (x0 - x4) << 0
+	u2 := (x2*c6 - x6*c2) >> 12
+	u3 := (x2*c2 + x6*c6) >> 12
+	t0 := u0 + u3
+	t3 := u0 - u3
+	t1 := u1 + u2
+	t2 := u1 - u2
+	o1 := (x1*c1 + x3*c3 + x5*c5 + x7*c7) >> 12
+	o3 := (x1*c3 - x3*c7 - x5*c1 + x7*c5) >> 12
+	o5 := (x1*c5 - x3*c1 + x5*c7 + x7*c3) >> 12
+	o7 := (x1*c7 - x3*c5 + x5*c3 - x7*c1) >> 12
+	blk.StoreI(i(0), (t0+o1)>>1)
+	blk.StoreI(i(7), (t0-o1)>>1)
+	blk.StoreI(i(1), (t1+o3)>>1)
+	blk.StoreI(i(6), (t1-o3)>>1)
+	blk.StoreI(i(2), (t2+o5)>>1)
+	blk.StoreI(i(5), (t2-o5)>>1)
+	blk.StoreI(i(3), (t3+o7)>>1)
+	blk.StoreI(i(4), (t3-o7)>>1)
+	e.Compute(46)
+}
+
+// jpegEncodeImage encodes the whole image into stream; returns the
+// number of words written.
+func jpegEncodeImage(e *Env, img, stream Arr) int {
+	blk := e.Alloc(64) // scratch block, lives in memory like the C stack buffer
+	si := 0
+	emit := func(v int32) {
+		if si < stream.Len() {
+			stream.StoreI(si, v)
+			si++
+		}
+	}
+	for by := 0; by < jpegH/8; by++ {
+		for bx := 0; bx < jpegW/8; bx++ {
+			// Load the block (level-shifted).
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					blk.StoreI(y*8+x, img.LoadI((by*8+y)*jpegW+bx*8+x)-128)
+					e.Compute(3)
+				}
+			}
+			// 2-D DCT: rows then columns.
+			for r := 0; r < 8; r++ {
+				dct1D(e, blk, r*8, 1)
+			}
+			for c := 0; c < 8; c++ {
+				dct1D(e, blk, c, 8)
+			}
+			// Quantize + zigzag + RLE (run of zeros, value).
+			run := int32(0)
+			for k := 0; k < 64; k++ {
+				z := jpegZigzag[k]
+				q := blk.LoadI(z) / (jpegQuant[z] * 8)
+				if q == 0 {
+					run++
+				} else {
+					emit(run)
+					emit(q)
+					run = 0
+				}
+				e.Compute(6)
+			}
+			emit(-9999) // end-of-block
+		}
+	}
+	return si
+}
+
+// jpegDecodeImage reverses the pipeline into out.
+func jpegDecodeImage(e *Env, stream Arr, words int, out Arr) {
+	blk := e.Alloc(64)
+	si := 0
+	read := func() int32 {
+		if si >= words {
+			return -9999
+		}
+		v := stream.LoadI(si)
+		si++
+		return v
+	}
+	for by := 0; by < jpegH/8; by++ {
+		for bx := 0; bx < jpegW/8; bx++ {
+			for k := 0; k < 64; k++ {
+				blk.StoreI(k, 0)
+			}
+			k := 0
+			eob := false
+			for k < 64 && !eob {
+				v := read()
+				if v == -9999 {
+					eob = true
+					break
+				}
+				run := v
+				val := read()
+				if val == -9999 {
+					eob = true
+					break
+				}
+				k += int(run)
+				if k >= 64 {
+					break
+				}
+				z := jpegZigzag[k]
+				blk.StoreI(z, val*jpegQuant[z]*8)
+				k++
+				e.Compute(8)
+			}
+			// Consume up to the end-of-block marker.
+			for !eob {
+				if read() == -9999 {
+					eob = true
+				}
+			}
+			// 2-D inverse DCT.
+			for c := 0; c < 8; c++ {
+				idct1D(e, blk, c, 8)
+			}
+			for r := 0; r < 8; r++ {
+				idct1D(e, blk, r*8, 1)
+			}
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					v := blk.LoadI(y*8+x)/16 + 128
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					out.StoreI((by*8+y)*jpegW+bx*8+x, v)
+					e.Compute(5)
+				}
+			}
+		}
+	}
+}
+
+func jpegEncodeRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	img := e.Alloc(jpegW * jpegH)
+	stream := e.Alloc(jpegW * jpegH * 2)
+	h := uint32(0)
+	for frame := 0; frame < scale; frame++ {
+		jpegImage(e, img, 0x0709+uint32(frame))
+		n := jpegEncodeImage(e, img, stream)
+		h = mix(h, uint32(n))
+		h = mix(h, stream.Slice(0, n).Checksum(h))
+	}
+	return h
+}
+
+func jpegDecodeRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	img := e.Alloc(jpegW * jpegH)
+	stream := e.Alloc(jpegW * jpegH * 2)
+	out := e.Alloc(jpegW * jpegH)
+	h := uint32(0)
+	for frame := 0; frame < scale; frame++ {
+		jpegImage(e, img, 0x0709+uint32(frame))
+		n := jpegEncodeImage(e, img, stream)
+		jpegDecodeImage(e, stream, n, out)
+		h = mix(h, out.Checksum(h))
+	}
+	return h
+}

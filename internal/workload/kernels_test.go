@@ -1,0 +1,689 @@
+package workload
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/sha1"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// --- algorithm-level correctness of the kernel building blocks ---
+
+func TestIsqrt32(t *testing.T) {
+	cases := map[uint32]uint32{0: 0, 1: 1, 3: 1, 4: 2, 15: 3, 16: 4, 1 << 30: 1 << 15, 0xffffffff: 65535}
+	for x, want := range cases {
+		if got := isqrt32(x); got != want {
+			t.Errorf("isqrt32(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestIsqrt32Quick(t *testing.T) {
+	f := func(x uint32) bool {
+		r := uint64(isqrt32(x))
+		return r*r <= uint64(x) && (r+1)*(r+1) > uint64(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotl32(t *testing.T) {
+	if rotl32(0x80000000, 1) != 1 {
+		t.Fatal("rotl wrap failed")
+	}
+	if rotl32(0x12345678, 8) != 0x34567812 {
+		t.Fatal("rotl byte failed")
+	}
+}
+
+// TestSHA1MatchesStdlib validates the sha kernel's compression
+// function against crypto/sha1 on a single block.
+func TestSHA1MatchesStdlib(t *testing.T) {
+	// Run the kernel's exact algorithm host-side on a known block and
+	// compare with crypto/sha1 over the same 64 bytes (no padding
+	// differences: we hash exactly one block and sha1 pads, so instead
+	// compare against a manually padded equivalent).
+	var block [16]uint32
+	for i := range block {
+		block[i] = uint32(i)*0x01010101 + 7
+	}
+	// Kernel-side digest of one unpadded block.
+	h := [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+	var w [80]uint32
+	copy(w[:16], block[:])
+	for t2 := 16; t2 < 80; t2++ {
+		w[t2] = rotl32(w[t2-3]^w[t2-8]^w[t2-14]^w[t2-16], 1)
+	}
+	a, b, c, d, e := h[0], h[1], h[2], h[3], h[4]
+	for t2 := 0; t2 < 80; t2++ {
+		var f, k uint32
+		switch {
+		case t2 < 20:
+			f, k = (b&c)|((^b)&d), 0x5A827999
+		case t2 < 40:
+			f, k = b^c^d, 0x6ED9EBA1
+		case t2 < 60:
+			f, k = (b&c)|(b&d)|(c&d), 0x8F1BBCDC
+		default:
+			f, k = b^c^d, 0xCA62C1D6
+		}
+		tmp := rotl32(a, 5) + f + e + k + w[t2]
+		e, d, c, b, a = d, c, rotl32(b, 30), a, tmp
+	}
+	h[0] += a
+	h[1] += b
+	h[2] += c
+	h[3] += d
+	h[4] += e
+
+	// Reference: crypto/sha1 over (block || standard padding for a
+	// 512-bit message) equals the raw compression output only if we
+	// replicate the padding block too — instead use sha1's documented
+	// behavior: digest of the 64-byte message involves two
+	// compressions. So compress the padding block as well.
+	var pad [16]uint32
+	pad[0] = 0x80000000
+	pad[15] = 512
+	copy(w[:16], pad[:])
+	for t2 := 16; t2 < 80; t2++ {
+		w[t2] = rotl32(w[t2-3]^w[t2-8]^w[t2-14]^w[t2-16], 1)
+	}
+	a, b, c, d, e = h[0], h[1], h[2], h[3], h[4]
+	for t2 := 0; t2 < 80; t2++ {
+		var f, k uint32
+		switch {
+		case t2 < 20:
+			f, k = (b&c)|((^b)&d), 0x5A827999
+		case t2 < 40:
+			f, k = b^c^d, 0x6ED9EBA1
+		case t2 < 60:
+			f, k = (b&c)|(b&d)|(c&d), 0x8F1BBCDC
+		default:
+			f, k = b^c^d, 0xCA62C1D6
+		}
+		tmp := rotl32(a, 5) + f + e + k + w[t2]
+		e, d, c, b, a = d, c, rotl32(b, 30), a, tmp
+	}
+	h[0] += a
+	h[1] += b
+	h[2] += c
+	h[3] += d
+	h[4] += e
+
+	msg := make([]byte, 64)
+	for i, v := range block {
+		binary.BigEndian.PutUint32(msg[i*4:], v)
+	}
+	want := sha1.Sum(msg)
+	got := make([]byte, 20)
+	for i, v := range h {
+		binary.BigEndian.PutUint32(got[i*4:], v)
+	}
+	if !bytes.Equal(got, want[:]) {
+		t.Fatalf("SHA-1 mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestAESMatchesStdlib validates the rijndael kernel's block cipher
+// against crypto/aes.
+func TestAESMatchesStdlib(t *testing.T) {
+	e := NewEnv(newFlat())
+	ctx := newAESContext(e, aesKey)
+
+	keyBytes := make([]byte, 16)
+	for i, w := range aesKey {
+		binary.BigEndian.PutUint32(keyBytes[i*4:], w)
+	}
+	ref, err := aes.NewCipher(keyBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		var s aesState
+		pt := make([]byte, 16)
+		r := newRNG(uint32(trial + 1))
+		for i := 0; i < 4; i++ {
+			s[i] = r.next()
+			binary.BigEndian.PutUint32(pt[i*4:], s[i])
+		}
+		want := make([]byte, 16)
+		ref.Encrypt(want, pt)
+
+		ctx.encryptBlock(&s)
+		got := make([]byte, 16)
+		for i := 0; i < 4; i++ {
+			binary.BigEndian.PutUint32(got[i*4:], s[i])
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: AES encrypt mismatch\n got %x\nwant %x", trial, got, want)
+		}
+
+		// And decryption inverts the reference ciphertext.
+		var c aesState
+		for i := 0; i < 4; i++ {
+			c[i] = binary.BigEndian.Uint32(want[i*4:])
+		}
+		ctx.decryptBlock(&c)
+		back := make([]byte, 16)
+		for i := 0; i < 4; i++ {
+			binary.BigEndian.PutUint32(back[i*4:], c[i])
+		}
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("trial %d: AES decrypt mismatch\n got %x\nwant %x", trial, back, pt)
+		}
+	}
+}
+
+// TestADPCMRoundTrip: decoding an encoded signal tracks the original
+// within the codec's quantization error.
+func TestADPCMRoundTrip(t *testing.T) {
+	e := NewEnv(newFlat())
+	n := 2048
+	pcm := e.Alloc(n)
+	codes := e.Alloc(n/8 + 1)
+	out := e.Alloc(n)
+	adpcmGenInput(e, pcm, 42)
+	adpcmEncodeCore(e, pcm, codes)
+	adpcmDecodeCore(e, codes, n, out)
+	var sumErr, sumMag int64
+	for i := 256; i < n; i++ { // skip adaptation warm-up
+		d := int64(pcm.LoadI(i) - out.LoadI(i))
+		if d < 0 {
+			d = -d
+		}
+		m := int64(pcm.LoadI(i))
+		if m < 0 {
+			m = -m
+		}
+		sumErr += d
+		sumMag += m
+	}
+	if sumErr*5 > sumMag {
+		t.Fatalf("ADPCM reconstruction error too high: %d vs signal %d", sumErr, sumMag)
+	}
+}
+
+// TestG721RoundTrip: the adaptive predictor codec must also track.
+func TestG721RoundTrip(t *testing.T) {
+	e := NewEnv(newFlat())
+	n := 2048
+	pcm := e.Alloc(n)
+	codes := e.Alloc(n/8 + 1)
+	out := e.Alloc(n)
+	adpcmGenInput(e, pcm, 42)
+	enc := newG721State(e)
+	g721EncodeCore(e, enc, pcm, codes)
+	dec := newG721State(e)
+	g721DecodeCore(e, dec, codes, n, out)
+	var sumErr, sumMag int64
+	for i := 512; i < n; i++ {
+		d := int64(pcm.LoadI(i) - out.LoadI(i))
+		if d < 0 {
+			d = -d
+		}
+		m := int64(pcm.LoadI(i))
+		if m < 0 {
+			m = -m
+		}
+		sumErr += d
+		sumMag += m
+	}
+	if sumErr*2 > sumMag {
+		t.Fatalf("G.721 reconstruction error too high: %d vs %d", sumErr, sumMag)
+	}
+}
+
+// TestFFTRoundTrip: inverse(forward(x)) ~= x up to fixed-point scaling
+// loss; we check correlation rather than exact equality.
+func TestFFTRoundTrip(t *testing.T) {
+	e := NewEnv(newFlat())
+	re := e.Alloc(fftSize)
+	im := e.Alloc(fftSize)
+	tab := e.Alloc(sineTableSize)
+	fftSineTable(e, tab)
+	orig := make([]int32, fftSize)
+	fftPrepare(e, re, im, 99)
+	for i := range orig {
+		orig[i] = re.LoadI(i)
+	}
+	fftCore(e, re, im, tab, false)
+	fftCore(e, re, im, tab, true)
+	// Each direction scales by 1/2 per stage: net gain 1/N * N = the
+	// round trip preserves shape at reduced amplitude. Correlate.
+	var dot, normA, normB int64
+	for i := range orig {
+		a, b := int64(orig[i]), int64(re.LoadI(i))
+		dot += a * b
+		normA += a * a
+		normB += b * b
+	}
+	if normB == 0 {
+		t.Fatal("round trip collapsed to zero")
+	}
+	// Cosine similarity must be high.
+	// The 1/2-per-stage fixed-point scaling costs ~10 bits of
+	// amplitude over the round trip, so tolerate quantization noise.
+	cos2 := float64(dot) * float64(dot) / (float64(normA) * float64(normB))
+	if cos2 < 0.85 {
+		t.Fatalf("FFT round trip decorrelated: cos^2 = %f", cos2)
+	}
+}
+
+// TestJPEGRoundTrip: decode(encode(img)) approximates the image.
+func TestJPEGRoundTrip(t *testing.T) {
+	e := NewEnv(newFlat())
+	img := e.Alloc(jpegW * jpegH)
+	stream := e.Alloc(jpegW * jpegH * 2)
+	out := e.Alloc(jpegW * jpegH)
+	jpegImage(e, img, 1)
+	n := jpegEncodeImage(e, img, stream)
+	if n == 0 {
+		t.Fatal("encoder produced nothing")
+	}
+	jpegDecodeImage(e, stream, n, out)
+	var sumErr int64
+	for i := 0; i < jpegW*jpegH; i++ {
+		d := int64(img.LoadI(i) - out.LoadI(i))
+		if d < 0 {
+			d = -d
+		}
+		sumErr += d
+	}
+	mean := float64(sumErr) / float64(jpegW*jpegH)
+	if mean > 24 {
+		t.Fatalf("JPEG mean abs error %.1f too high", mean)
+	}
+}
+
+// TestQsortSorts verifies the in-place quicksort really sorts.
+func TestQsortSorts(t *testing.T) {
+	e := NewEnv(newFlat())
+	n := 4000
+	a := e.Alloc(n)
+	r := newRNG(5)
+	for i := 0; i < n; i++ {
+		a.Store(i, r.next())
+	}
+	quicksort(e, a, 0, n-1)
+	prev := uint32(0)
+	for i := 0; i < n; i++ {
+		v := a.Load(i)
+		if v < prev {
+			t.Fatalf("not sorted at %d", i)
+		}
+		prev = v
+	}
+}
+
+// TestDijkstraTriangle: dist satisfies the triangle inequality over
+// relaxed edges (spot check via a tiny graph with known answers).
+func TestDijkstraKnownGraph(t *testing.T) {
+	e := NewEnv(newFlat())
+	n := dijkstraNodes
+	adj := e.Alloc(n * n)
+	dist := e.Alloc(n)
+	visited := e.Alloc(n)
+	for i := 0; i < n*n; i++ {
+		adj.Store(i, dijkstraInf)
+	}
+	// 0 -> 1 (5), 1 -> 2 (7), 0 -> 2 (20): shortest 0->2 is 12.
+	adj.Store(0*n+1, 5)
+	adj.Store(1*n+2, 7)
+	adj.Store(0*n+2, 20)
+	for i := 0; i < n; i++ {
+		dist.Store(i, dijkstraInf)
+		visited.Store(i, 0)
+	}
+	dist.Store(0, 0)
+	for iter := 0; iter < n; iter++ {
+		best, bestD := -1, uint32(dijkstraInf+1)
+		for i := 0; i < n; i++ {
+			if visited.Load(i) == 0 && dist.Load(i) < bestD {
+				best, bestD = i, dist.Load(i)
+			}
+		}
+		if best < 0 || bestD >= dijkstraInf {
+			break
+		}
+		visited.Store(best, 1)
+		for j := 0; j < n; j++ {
+			w := adj.Load(best*n + j)
+			if w < dijkstraInf && bestD+w < dist.Load(j) {
+				dist.Store(j, bestD+w)
+			}
+		}
+	}
+	if dist.Load(2) != 12 {
+		t.Fatalf("dist[2] = %d, want 12", dist.Load(2))
+	}
+}
+
+// TestPatriciaInsertLookup: inserted keys are found exactly.
+func TestPatriciaInsertLookup(t *testing.T) {
+	e := NewEnv(newFlat())
+	trie := newPatTrie(e, 600)
+	keys := make([]uint32, 0, 500)
+	r := newRNG(77)
+	for i := 0; i < 500; i++ {
+		k := r.next()
+		if trie.insert(k) {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		if got := trie.lookup(k); got != k {
+			t.Fatalf("lookup(%#x) = %#x", k, got)
+		}
+	}
+	// Duplicate insertion must be rejected.
+	if trie.insert(keys[0]) {
+		t.Fatal("duplicate key inserted")
+	}
+}
+
+func TestPatriciaQuick(t *testing.T) {
+	f := func(keys []uint32) bool {
+		e := NewEnv(newFlat())
+		trie := newPatTrie(e, len(keys)+2)
+		present := map[uint32]bool{}
+		for _, k := range keys {
+			if trie.insert(k) {
+				present[k] = true
+			}
+		}
+		for k := range present {
+			if trie.lookup(k) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGF256: gmul agrees with xtime-based multiply-by-constants.
+func TestGF256(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		b := byte(a)
+		if gmul(b, 1) != b {
+			t.Fatal("gmul identity broken")
+		}
+		if gmul(b, 2) != xtime(b) {
+			t.Fatal("gmul(.,2) != xtime")
+		}
+		if gmul(b, 3) != xtime(b)^b {
+			t.Fatal("gmul(.,3) wrong")
+		}
+	}
+	// S-box sanity: bijective, sbox[0]=0x63.
+	sb, inv := aesTables()
+	if sb[0] != 0x63 {
+		t.Fatalf("sbox[0] = %#x, want 0x63", sb[0])
+	}
+	seen := map[byte]bool{}
+	for i := 0; i < 256; i++ {
+		if seen[sb[i]] {
+			t.Fatal("sbox not bijective")
+		}
+		seen[sb[i]] = true
+		if inv[sb[i]] != byte(i) {
+			t.Fatal("inverse sbox wrong")
+		}
+	}
+}
+
+// TestSusanRespondsToCorners: a synthetic corner yields a response
+// while a flat region yields none.
+func TestSusanRespondsToCorners(t *testing.T) {
+	e := NewEnv(newFlat())
+	img := e.Alloc(susanW * susanH)
+	lut := e.Alloc(512)
+	resp := e.Alloc(susanW * susanH)
+	susanLUT(e, lut)
+	// Flat dark image with one bright square: corners at its edges.
+	for i := 0; i < susanW*susanH; i++ {
+		img.Store(i, 20)
+	}
+	for y := 40; y < 60; y++ {
+		for x := 40; x < 60; x++ {
+			img.Store(y*susanW+x, 220)
+		}
+	}
+	susanCore(e, img, lut, resp, 37*100/2)
+	if resp.Load(40*susanW+40) == 0 {
+		t.Fatal("no corner response at the square's corner")
+	}
+	if resp.Load(10*susanW+10) != 0 {
+		t.Fatal("flat region produced a corner response")
+	}
+}
+
+// TestMpegMotionSearchFindsShift: a pure translation is recovered.
+func TestMpegMotionSearchFindsShift(t *testing.T) {
+	e := NewEnv(newFlat())
+	ref := e.Alloc(mpegW * mpegH)
+	cur := e.Alloc(mpegW * mpegH)
+	r := newRNG(3)
+	for y := 0; y < mpegH; y++ {
+		for x := 0; x < mpegW; x++ {
+			ref.StoreI(y*mpegW+x, int32(r.intn(255)))
+		}
+	}
+	// cur = ref shifted right by 2 (content moved +2 in x means block
+	// at bx matches ref at bx-2... use dx = -2 convention check).
+	for y := 0; y < mpegH; y++ {
+		for x := 0; x < mpegW; x++ {
+			sx := x - 2
+			if sx < 0 {
+				sx = 0
+			}
+			cur.StoreI(y*mpegW+x, ref.LoadI(y*mpegW+sx))
+		}
+	}
+	dx, dy := motionSearch(e, cur, ref, 16, 16)
+	if dx != -2 || dy != 0 {
+		t.Fatalf("motion vector (%d,%d), want (-2,0)", dx, dy)
+	}
+}
+
+// TestEpicPyramidEnergyCompaction: the Laplacian bands should be much
+// smaller than the raw image (that is the point of the coder).
+func TestEpicFilterSmooths(t *testing.T) {
+	e := NewEnv(newFlat())
+	w, h := 32, 32
+	src := e.Alloc(w * h)
+	dst := e.Alloc(w * h)
+	r := newRNG(11)
+	for i := 0; i < w*h; i++ {
+		src.StoreI(i, int32(r.intn(256)))
+	}
+	epicFilterRow(e, src, w, h, dst)
+	// The filtered signal has lower variation than the input.
+	varOf := func(a Arr) int64 {
+		var v int64
+		for i := 1; i < w*h; i++ {
+			d := int64(a.LoadI(i) - a.LoadI(i-1))
+			v += d * d
+		}
+		return v
+	}
+	if varOf(dst) >= varOf(src) {
+		t.Fatal("binomial filter did not smooth")
+	}
+}
+
+// TestPegwitModExp: x^1 = x mod p, x^2 = x*x mod p.
+func TestPegwitModExp(t *testing.T) {
+	e := NewEnv(newFlat())
+	base := e.Alloc(pegLimbs)
+	exp := e.Alloc(pegLimbs)
+	out := e.Alloc(pegLimbs)
+	r := newRNG(13)
+	for i := 0; i < pegLimbs; i++ {
+		base.Store(i, r.next())
+		exp.Store(i, 0)
+	}
+	exp.Store(0, 1)
+	pegExpMod(e, base, exp, out)
+	// x^1 must equal x mod p (x < p given top limb constraint? not
+	// guaranteed; compare against a host-side reduction instead).
+	x := bnLoad(base)
+	want := pegMulMod(e, x, [pegLimbs]uint32{1})
+	got := bnLoad(out)
+	if got != want {
+		t.Fatalf("x^1 != x mod p:\n got %v\nwant %v", got, want)
+	}
+	// x^2 == mulmod(x, x).
+	for i := 0; i < pegLimbs; i++ {
+		base.Store(i, x[i])
+		exp.Store(i, 0)
+	}
+	exp.Store(0, 2)
+	pegExpMod(e, base, exp, out)
+	want = pegMulMod(e, want, want)
+	if bnLoad(out) != want {
+		t.Fatal("x^2 != (x mod p)^2 mod p")
+	}
+}
+
+// TestGSMFrameRoundTrip: the decoder output is a bounded-energy signal
+// correlated with the input (lossy codec sanity).
+func TestGSMEncodeDecodeStable(t *testing.T) {
+	e := NewEnv(newFlat())
+	frames := 4
+	pcm := e.Alloc(frames * gsmFrame)
+	params := e.Alloc(frames * 80)
+	out := e.Alloc(frames * gsmFrame)
+	adpcmGenInput(e, pcm, 21)
+	enc := newGSMScratch(e)
+	oi := 0
+	for f := 0; f < frames; f++ {
+		oi = gsmEncodeFrame(e, pcm, f*gsmFrame, enc, params, oi)
+	}
+	dec := newGSMScratch(e)
+	ri := 0
+	for f := 0; f < frames; f++ {
+		ri = gsmDecodeFrame(e, params, ri, dec, out, f*gsmFrame)
+	}
+	if ri != oi {
+		t.Fatalf("decoder consumed %d params, encoder wrote %d", ri, oi)
+	}
+	// Output must be bounded (no fixed-point blow-up).
+	for i := 0; i < frames*gsmFrame; i++ {
+		v := out.LoadI(i)
+		if v > 32767 || v < -32768 {
+			t.Fatalf("decoder sample %d out of 16-bit range: %d", i, v)
+		}
+	}
+}
+
+// TestMpegRoundTripQuality: the decoded frame approximates the coded
+// frame (motion compensation + residual must compose correctly).
+func TestMpegRoundTripQuality(t *testing.T) {
+	e := NewEnv(newFlat())
+	ref := e.Alloc(mpegW * mpegH)
+	cur := e.Alloc(mpegW * mpegH)
+	out := e.Alloc(mpegW * mpegH)
+	stream := e.Alloc(mpegW * mpegH * 3)
+	blk := e.Alloc(64)
+	mpegFrame(e, ref, 0, 0x3e9)
+	mpegFrame(e, cur, 1, 0x3e9)
+	n := mpeg2EncodeFrame(e, cur, ref, stream, blk)
+	mpeg2DecodeFrame(e, stream, n, ref, out, blk)
+	var sumErr int64
+	for i := 0; i < mpegW*mpegH; i++ {
+		d := int64(cur.LoadI(i) - out.LoadI(i))
+		if d < 0 {
+			d = -d
+		}
+		sumErr += d
+	}
+	mean := float64(sumErr) / float64(mpegW*mpegH)
+	if mean > 20 {
+		t.Fatalf("MPEG-2 mean abs reconstruction error %.1f too high", mean)
+	}
+}
+
+// TestEpicRoundTrip: unepic(epic(img)) approximates the image. The
+// encoder quantizes each Laplacian band and replaces the input with
+// progressively smoothed copies, so tolerate coarse error.
+func TestEpicRoundTrip(t *testing.T) {
+	e := NewEnv(newFlat())
+	img := e.Alloc(epicW * epicH)
+	smooth := e.Alloc(epicW * epicH)
+	tmp := e.Alloc(epicW * epicH)
+	down := e.Alloc(epicW * epicH / 4)
+	// Generous stream: a noisy image can emit ~2 words per pixel.
+	stream := e.Alloc(epicW * epicH * 3)
+	orig := make([]int32, epicW*epicH)
+
+	r := newRNG(0xe91c)
+	for y := 0; y < epicH; y++ {
+		for x := 0; x < epicW; x++ {
+			v := int32(((x*x + y*y) >> 5 & 0xff) + r.intn(9))
+			img.StoreI(y*epicW+x, v)
+			orig[y*epicW+x] = v
+		}
+	}
+	// Re-run the encoder body (same structure as epicRun's level loop).
+	si := 0
+	emit := func(v int32) {
+		if si < stream.Len() {
+			stream.StoreI(si, v)
+			si++
+		}
+	}
+	w, hh := epicW, epicH
+	cur := img
+	for level := 0; level < epicLevels; level++ {
+		epicFilterRow(e, cur, w, hh, tmp)
+		epicFilterCol(e, tmp, w, hh, smooth)
+		q := int32(4 << level)
+		run := int32(0)
+		for i := 0; i < w*hh; i++ {
+			d := (cur.LoadI(i) - smooth.LoadI(i)) / q
+			if d == 0 {
+				run++
+			} else {
+				emit(run)
+				emit(d)
+				run = 0
+			}
+		}
+		emit(-1)
+		w2, h2 := w/2, hh/2
+		for y := 0; y < h2; y++ {
+			for x := 0; x < w2; x++ {
+				down.StoreI(y*w2+x, smooth.LoadI((2*y)*w+2*x))
+			}
+		}
+		for i := 0; i < w2*h2; i++ {
+			cur.StoreI(i, down.LoadI(i))
+		}
+		w, hh = w2, h2
+	}
+	for i := 0; i < w*hh; i++ {
+		emit(cur.LoadI(i))
+	}
+
+	out := e.Alloc(epicW * epicH)
+	epicDecode(e, stream, si, out)
+	var sumErr int64
+	for i := 0; i < epicW*epicH; i++ {
+		d := int64(out.LoadI(i) - orig[i])
+		if d < 0 {
+			d = -d
+		}
+		sumErr += d
+	}
+	mean := float64(sumErr) / float64(epicW*epicH)
+	if mean > 40 {
+		t.Fatalf("EPIC mean abs reconstruction error %.1f too high", mean)
+	}
+}

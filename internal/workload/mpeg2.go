@@ -1,0 +1,227 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// mpeg2encode / mpeg2decode (MediaBench): inter-frame video coding on
+// synthetic frames — block motion estimation (three-step search, SAD
+// metric), DCT residual coding (reusing the JPEG integer DCT), and
+// the matching motion-compensated decoder.
+
+const (
+	mpegW     = 64
+	mpegH     = 48
+	mpegBlk   = 8
+	mpegRange = 4 // motion search range
+)
+
+// mpegFrame synthesizes frame t: a textured background with moving
+// objects so motion estimation finds real vectors.
+func mpegFrame(e *Env, f Arr, t int, seed uint32) {
+	r := newRNG(seed + uint32(t)*31)
+	for y := 0; y < mpegH; y++ {
+		for x := 0; x < mpegW; x++ {
+			v := int32(96 + ((x+y*3)&31)*2 + r.intn(5))
+			f.StoreI(y*mpegW+x, v)
+			e.Compute(5)
+		}
+	}
+	// Two moving bright squares.
+	for obj := 0; obj < 2; obj++ {
+		ox := (10 + obj*24 + t*(2+obj)) % (mpegW - 12)
+		oy := (6 + obj*12 + t*(1+obj)) % (mpegH - 12)
+		for y := oy; y < oy+10; y++ {
+			for x := ox; x < ox+10; x++ {
+				f.StoreI(y*mpegW+x, int32(200+obj*30))
+				e.Compute(2)
+			}
+		}
+	}
+}
+
+// sad8 computes the sum of absolute differences between an 8x8 block
+// of cur at (bx,by) and ref at (bx+dx, by+dy); returns a large value
+// when the candidate falls outside the frame.
+func sad8(e *Env, cur, ref Arr, bx, by, dx, dy int) int32 {
+	if bx+dx < 0 || by+dy < 0 || bx+dx+mpegBlk > mpegW || by+dy+mpegBlk > mpegH {
+		return 1 << 30
+	}
+	var sad int32
+	for y := 0; y < mpegBlk; y++ {
+		for x := 0; x < mpegBlk; x++ {
+			c := cur.LoadI((by+y)*mpegW + bx + x)
+			p := ref.LoadI((by+dy+y)*mpegW + bx + dx + x)
+			d := c - p
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+			e.Compute(5)
+		}
+	}
+	return sad
+}
+
+// motionSearch runs a three-step search and returns the best vector.
+func motionSearch(e *Env, cur, ref Arr, bx, by int) (int, int) {
+	bestDx, bestDy := 0, 0
+	best := sad8(e, cur, ref, bx, by, 0, 0)
+	for step := mpegRange / 2; step >= 1; step /= 2 {
+		// Evaluate all eight neighbors of the current center, then
+		// move the center to the winner (classic three-step search).
+		cx, cy := bestDx, bestDy
+		for _, d := range [8][2]int{{-1, -1}, {0, -1}, {1, -1}, {-1, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1}} {
+			dx, dy := cx+d[0]*step, cy+d[1]*step
+			if s := sad8(e, cur, ref, bx, by, dx, dy); s < best {
+				best, bestDx, bestDy = s, dx, dy
+			}
+			e.Compute(4)
+		}
+	}
+	return bestDx, bestDy
+}
+
+// mpeg2EncodeFrame writes motion vectors and quantized residual
+// coefficients for every block; returns words written.
+func mpeg2EncodeFrame(e *Env, cur, ref, stream Arr, blk Arr) int {
+	si := 0
+	emit := func(v int32) {
+		if si < stream.Len() {
+			stream.StoreI(si, v)
+			si++
+		}
+	}
+	for by := 0; by < mpegH; by += mpegBlk {
+		for bx := 0; bx < mpegW; bx += mpegBlk {
+			dx, dy := motionSearch(e, cur, ref, bx, by)
+			emit(int32(dx))
+			emit(int32(dy))
+			// Residual block.
+			for y := 0; y < mpegBlk; y++ {
+				for x := 0; x < mpegBlk; x++ {
+					c := cur.LoadI((by+y)*mpegW + bx + x)
+					p := ref.LoadI((by+dy+y)*mpegW + bx + dx + x)
+					blk.StoreI(y*8+x, c-p)
+					e.Compute(4)
+				}
+			}
+			for r := 0; r < 8; r++ {
+				dct1D(e, blk, r*8, 1)
+			}
+			for c := 0; c < 8; c++ {
+				dct1D(e, blk, c, 8)
+			}
+			// Coarse quantization; emit nonzeros as (index, value).
+			for k := 0; k < 64; k++ {
+				q := blk.LoadI(k) / 256
+				if q != 0 {
+					emit(int32(k))
+					emit(q)
+				}
+				e.Compute(4)
+			}
+			emit(-1) // end of block
+		}
+	}
+	return si
+}
+
+// mpeg2DecodeFrame reconstructs a frame from stream into out using ref.
+func mpeg2DecodeFrame(e *Env, stream Arr, words int, ref, out Arr, blk Arr) {
+	si := 0
+	read := func() int32 {
+		if si >= words {
+			return -1
+		}
+		v := stream.LoadI(si)
+		si++
+		return v
+	}
+	for by := 0; by < mpegH; by += mpegBlk {
+		for bx := 0; bx < mpegW; bx += mpegBlk {
+			dx := int(read())
+			dy := int(read())
+			for k := 0; k < 64; k++ {
+				blk.StoreI(k, 0)
+			}
+			for {
+				k := read()
+				if k < 0 {
+					break
+				}
+				v := read()
+				blk.StoreI(int(k), v*256)
+				e.Compute(5)
+			}
+			for c := 0; c < 8; c++ {
+				idct1D(e, blk, c, 8)
+			}
+			for r := 0; r < 8; r++ {
+				idct1D(e, blk, r*8, 1)
+			}
+			for y := 0; y < mpegBlk; y++ {
+				for x := 0; x < mpegBlk; x++ {
+					px, py := bx+dx+x, by+dy+y
+					var p int32
+					if px >= 0 && py >= 0 && px < mpegW && py < mpegH {
+						p = ref.LoadI(py*mpegW + px)
+					}
+					v := p + blk.LoadI(y*8+x)/16
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					out.StoreI((by+y)*mpegW+bx+x, v)
+					e.Compute(6)
+				}
+			}
+		}
+	}
+}
+
+const mpegFramesPerScale = 3
+
+func mpeg2EncodeRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	ref := e.Alloc(mpegW * mpegH)
+	cur := e.Alloc(mpegW * mpegH)
+	stream := e.Alloc(mpegW * mpegH * 3)
+	blk := e.Alloc(64)
+	mpegFrame(e, ref, 0, 0x3e9)
+	h := uint32(0)
+	for t := 1; t <= mpegFramesPerScale*scale; t++ {
+		mpegFrame(e, cur, t, 0x3e9)
+		n := mpeg2EncodeFrame(e, cur, ref, stream, blk)
+		h = mix(h, uint32(n))
+		h = mix(h, stream.Slice(0, n).Checksum(h))
+		// The encoder's reference advances to the coded frame.
+		for i := 0; i < ref.Len(); i++ {
+			ref.Store(i, cur.Load(i))
+			e.Compute(2)
+		}
+	}
+	return h
+}
+
+func mpeg2DecodeRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	ref := e.Alloc(mpegW * mpegH)
+	cur := e.Alloc(mpegW * mpegH)
+	out := e.Alloc(mpegW * mpegH)
+	stream := e.Alloc(mpegW * mpegH * 3)
+	blk := e.Alloc(64)
+	mpegFrame(e, ref, 0, 0x3e9)
+	h := uint32(0)
+	for t := 1; t <= mpegFramesPerScale*scale; t++ {
+		mpegFrame(e, cur, t, 0x3e9)
+		n := mpeg2EncodeFrame(e, cur, ref, stream, blk)
+		mpeg2DecodeFrame(e, stream, n, ref, out, blk)
+		h = mix(h, out.Checksum(h))
+		for i := 0; i < ref.Len(); i++ {
+			ref.Store(i, out.Load(i))
+			e.Compute(2)
+		}
+	}
+	return h
+}

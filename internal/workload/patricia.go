@@ -1,0 +1,168 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// patricia (MiBench network): a Patricia trie keyed by 32-bit IPv4
+// addresses, exercising the pointer-chasing insert/lookup pattern of
+// the original routing-table workload. Nodes live in simulated
+// memory; each node is 4 words: {bit, key, left, right} where
+// left/right are node indices and node 0 is the header whose bit
+// field is the sentinel -1 (stored as 0xffffffff).
+
+const (
+	patNodeWords    = 4
+	patInsertsPerSc = 4000
+	patLookupsPerSc = 12000
+	patFieldBit     = 0
+	patFieldKey     = 1
+	patFieldLeft    = 2
+	patFieldRight   = 3
+	patSentinelBit  = 0xffffffff // header "bit -1"
+)
+
+type patTrie struct {
+	e     *Env
+	nodes Arr
+	count int
+}
+
+func newPatTrie(e *Env, capacity int) *patTrie {
+	t := &patTrie{e: e, nodes: e.Alloc(capacity * patNodeWords)}
+	// Header: sentinel bit, key 0, left self-loop.
+	t.setField(0, patFieldBit, patSentinelBit)
+	t.setField(0, patFieldKey, 0)
+	t.setField(0, patFieldLeft, 0)
+	t.setField(0, patFieldRight, 0)
+	t.count = 1
+	return t
+}
+
+func (t *patTrie) field(node, f int) uint32 {
+	return t.nodes.Load(node*patNodeWords + f)
+}
+
+func (t *patTrie) setField(node, f int, v uint32) {
+	t.nodes.Store(node*patNodeWords+f, v)
+}
+
+// sbit reads a node's bit index as a signed value (-1 for the header).
+func (t *patTrie) sbit(node int) int32 { return int32(t.field(node, patFieldBit)) }
+
+// bitOf returns bit b (0 = MSB) of key.
+func bitOf(key uint32, b int32) uint32 {
+	if b < 0 || b >= 32 {
+		return 0
+	}
+	return (key >> (31 - uint32(b))) & 1
+}
+
+// child follows left/right depending on the key's bit at the node.
+func (t *patTrie) child(node int, key uint32) int {
+	if bitOf(key, t.sbit(node)) == 1 {
+		return int(t.field(node, patFieldRight))
+	}
+	return int(t.field(node, patFieldLeft))
+}
+
+// search descends while bit indices strictly increase (a back edge
+// means the search key's prefix ran out) and returns the landing node.
+func (t *patTrie) search(key uint32) int {
+	p := 0
+	x := int(t.field(0, patFieldLeft))
+	for t.sbit(x) > t.sbit(p) {
+		p = x
+		x = t.child(x, key)
+		t.e.Compute(9)
+	}
+	return x
+}
+
+// insert adds key if absent; returns true when inserted.
+func (t *patTrie) insert(key uint32) bool {
+	found := t.search(key)
+	fKey := t.field(found, patFieldKey)
+	if fKey == key {
+		return false
+	}
+	if (t.count+1)*patNodeWords > t.nodes.Len() {
+		return false // capacity reached
+	}
+	// First bit where key differs from the closest existing key.
+	diff := fKey ^ key
+	db := int32(0)
+	for (diff>>(31-uint32(db)))&1 == 0 {
+		db++
+		t.e.Compute(2)
+	}
+	// Re-descend to the edge the new node splits.
+	p := 0
+	x := int(t.field(0, patFieldLeft))
+	for t.sbit(x) > t.sbit(p) && t.sbit(x) < db {
+		p = x
+		x = t.child(x, key)
+		t.e.Compute(9)
+	}
+	n := t.count
+	t.count++
+	t.setField(n, patFieldBit, uint32(db))
+	t.setField(n, patFieldKey, key)
+	if bitOf(key, db) == 1 {
+		t.setField(n, patFieldRight, uint32(n))
+		t.setField(n, patFieldLeft, uint32(x))
+	} else {
+		t.setField(n, patFieldLeft, uint32(n))
+		t.setField(n, patFieldRight, uint32(x))
+	}
+	if p == 0 {
+		t.setField(0, patFieldLeft, uint32(n))
+	} else if bitOf(key, t.sbit(p)) == 1 {
+		t.setField(p, patFieldRight, uint32(n))
+	} else {
+		t.setField(p, patFieldLeft, uint32(n))
+	}
+	t.e.Compute(12)
+	return true
+}
+
+// lookup returns the key stored at the landing node (the candidate
+// longest match).
+func (t *patTrie) lookup(key uint32) uint32 {
+	return t.field(t.search(key), patFieldKey)
+}
+
+func patriciaRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	inserts := patInsertsPerSc * scale
+	lookups := patLookupsPerSc * scale
+	t := newPatTrie(e, inserts+2)
+
+	r := newRNG(0x9a77)
+	h := uint32(2166136261)
+	// Build the routing table: clustered prefixes like real traces.
+	for i := 0; i < inserts; i++ {
+		prefix := uint32(r.intn(512)) << 23
+		key := prefix | r.next()&0x007fffff
+		if t.insert(key) {
+			h = mix(h, key)
+		}
+		e.Compute(6)
+	}
+	// Lookups with temporal locality: most re-visit recent keys.
+	recent := make([]uint32, 0, 64)
+	for i := 0; i < lookups; i++ {
+		var key uint32
+		if len(recent) > 8 && r.intn(4) != 0 {
+			key = recent[r.intn(len(recent))]
+		} else {
+			key = r.next()
+			if len(recent) < cap(recent) {
+				recent = append(recent, key)
+			} else {
+				recent[r.intn(len(recent))] = key
+			}
+		}
+		h = mix(h, t.lookup(key))
+		e.Compute(5)
+	}
+	return h
+}

@@ -1,0 +1,110 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// qsort (MiBench): in-place quicksort of an integer array with a
+// median-of-three pivot and insertion sort below a small threshold,
+// faithful to the classic C qsort workload's access pattern.
+
+const qsortElemsPerScale = 12288
+
+func qsortRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	n := qsortElemsPerScale * scale
+	a := e.Alloc(n)
+	r := newRNG(0x9507)
+	for i := 0; i < n; i++ {
+		a.Store(i, r.next())
+		e.Compute(3)
+	}
+	quicksort(e, a, 0, n-1)
+	// Fold sortedness verification into the digest.
+	h := uint32(2166136261)
+	prev := uint32(0)
+	for i := 0; i < n; i++ {
+		v := a.Load(i)
+		if v < prev {
+			h = mix(h, 0xdeadbeef) // corruption marker
+		}
+		prev = v
+		h = mix(h, v)
+		e.Compute(4)
+	}
+	return h
+}
+
+func quicksort(e *Env, a Arr, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 12 {
+			insertionSort(e, a, lo, hi)
+			return
+		}
+		p := partition(e, a, lo, hi)
+		// Recurse into the smaller half to bound stack depth.
+		if p-lo < hi-p {
+			quicksort(e, a, lo, p-1)
+			lo = p + 1
+		} else {
+			quicksort(e, a, p+1, hi)
+			hi = p - 1
+		}
+	}
+}
+
+// partition uses a median-of-three pivot with Lomuto partitioning and
+// returns the pivot's final index.
+func partition(e *Env, a Arr, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	lv, mv, hv := a.Load(lo), a.Load(mid), a.Load(hi)
+	e.Compute(8)
+	// Move the median of the three to a[hi] as the pivot.
+	var pi int
+	switch {
+	case (lv <= mv) == (mv <= hv):
+		pi = mid
+	case (mv <= lv) == (lv <= hv):
+		pi = lo
+	default:
+		pi = hi
+	}
+	if pi != hi {
+		pv, hv2 := a.Load(pi), a.Load(hi)
+		a.Store(pi, hv2)
+		a.Store(hi, pv)
+	}
+	pivot := a.Load(hi)
+	i := lo
+	for j := lo; j < hi; j++ {
+		vj := a.Load(j)
+		if vj < pivot {
+			vi := a.Load(i)
+			a.Store(i, vj)
+			a.Store(j, vi)
+			i++
+		}
+		e.Compute(5)
+	}
+	vh := a.Load(hi)
+	vi := a.Load(i)
+	a.Store(hi, vi)
+	a.Store(i, vh)
+	return i
+}
+
+func insertionSort(e *Env, a Arr, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		v := a.Load(i)
+		j := i - 1
+		for j >= lo {
+			w := a.Load(j)
+			if w <= v {
+				break
+			}
+			a.Store(j+1, w)
+			j--
+			e.Compute(4)
+		}
+		a.Store(j+1, v)
+		e.Compute(3)
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"wlcache/internal/isa"
+)
+
+// Workload is one benchmark kernel.
+type Workload struct {
+	Name  string
+	Suite string // "MediaBench" or "MiBench"
+	// Run executes the kernel at the given scale (>= 1; input size
+	// grows roughly linearly) and returns the output checksum.
+	Run func(m isa.Machine, scale int) uint32
+}
+
+// Suites.
+const (
+	MediaBench = "MediaBench"
+	MiBench    = "MiBench"
+)
+
+var registry = map[string]Workload{}
+
+// order preserves the paper's figure ordering.
+var order []string
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate %q", w.Name))
+	}
+	registry[w.Name] = w
+	order = append(order, w.Name)
+}
+
+func init() {
+	// MediaBench (paper figure order).
+	register(Workload{"adpcmdecode", MediaBench, adpcmDecodeRun})
+	register(Workload{"adpcmencode", MediaBench, adpcmEncodeRun})
+	register(Workload{"epic", MediaBench, epicRun})
+	register(Workload{"g721decode", MediaBench, g721DecodeRun})
+	register(Workload{"g721encode", MediaBench, g721EncodeRun})
+	register(Workload{"gsmdecode", MediaBench, gsmDecodeRun})
+	register(Workload{"gsmencode", MediaBench, gsmEncodeRun})
+	register(Workload{"jpegdecode", MediaBench, jpegDecodeRun})
+	register(Workload{"jpegencode", MediaBench, jpegEncodeRun})
+	register(Workload{"mpeg2decode", MediaBench, mpeg2DecodeRun})
+	register(Workload{"mpeg2encode", MediaBench, mpeg2EncodeRun})
+	register(Workload{"pegwitdecrypt", MediaBench, pegwitDecryptRun})
+	register(Workload{"sha", MediaBench, shaRun})
+	register(Workload{"susancorners", MediaBench, susanCornersRun})
+	register(Workload{"susanedges", MediaBench, susanEdgesRun})
+	// MiBench.
+	register(Workload{"basicmath", MiBench, basicmathRun})
+	register(Workload{"qsort", MiBench, qsortRun})
+	register(Workload{"dijkstra", MiBench, dijkstraRun})
+	register(Workload{"FFT", MiBench, fftRun})
+	register(Workload{"FFT_i", MiBench, ifftRun})
+	register(Workload{"patricia", MiBench, patriciaRun})
+	register(Workload{"rijndael_d", MiBench, rijndaelDecRun})
+	register(Workload{"rijndael_e", MiBench, rijndaelEncRun})
+}
+
+// All returns every workload in the paper's figure order.
+func All() []Workload {
+	ws := make([]Workload, 0, len(order))
+	for _, n := range order {
+		ws = append(ws, registry[n])
+	}
+	return ws
+}
+
+// ByName looks up one workload.
+func ByName(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// Names returns all names in figure order.
+func Names() []string { return append([]string(nil), order...) }
+
+// SuiteNames returns the names belonging to one suite, in order.
+func SuiteNames(suite string) []string {
+	var ns []string
+	for _, n := range order {
+		if registry[n].Suite == suite {
+			ns = append(ns, n)
+		}
+	}
+	return ns
+}
+
+// SortedNames returns all names alphabetically (for stable maps).
+func SortedNames() []string {
+	ns := Names()
+	sort.Strings(ns)
+	return ns
+}

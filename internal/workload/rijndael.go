@@ -1,0 +1,266 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// rijndael_e / rijndael_d (MiBench security): real AES-128 in ECB
+// mode over a buffer in simulated memory. The S-boxes and round keys
+// live in simulated memory, as the C implementation's tables do, so
+// table lookups exercise the cache.
+
+const aesBlocksPerScale = 1200
+
+// aesPow/aesLog build GF(2^8) log tables host-side (pure constants).
+func aesTables() (sbox, inv [256]byte) {
+	// Generate the AES S-box algebraically.
+	var logT, expT [256]byte
+	p := byte(1)
+	for i := 0; i < 255; i++ {
+		expT[i] = p
+		logT[p] = byte(i)
+		// multiply p by generator 3 in GF(2^8)
+		p = p ^ xtime(p)
+	}
+	inverse := func(b byte) byte {
+		if b == 0 {
+			return 0
+		}
+		return expT[(255-int(logT[b]))%255]
+	}
+	for i := 0; i < 256; i++ {
+		q := inverse(byte(i))
+		// affine transform
+		s := q ^ rotb(q, 1) ^ rotb(q, 2) ^ rotb(q, 3) ^ rotb(q, 4) ^ 0x63
+		sbox[i] = s
+	}
+	for i := 0; i < 256; i++ {
+		inv[sbox[i]] = byte(i)
+	}
+	return sbox, inv
+}
+
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1b
+	}
+	return b << 1
+}
+
+func rotb(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// gmul multiplies in GF(2^8) by repeated xtime (as the C code does).
+func gmul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+// aesContext holds the simulated-memory tables: sbox, inverse sbox
+// (one byte per word for simple indexing) and 11 round keys.
+type aesContext struct {
+	e        *Env
+	sbox     Arr // 256 words
+	isbox    Arr // 256 words
+	roundKey Arr // 44 words
+}
+
+func newAESContext(e *Env, key [4]uint32) *aesContext {
+	ctx := &aesContext{e: e, sbox: e.Alloc(256), isbox: e.Alloc(256), roundKey: e.Alloc(44)}
+	sb, inv := aesTables()
+	for i := 0; i < 256; i++ {
+		ctx.sbox.Store(i, uint32(sb[i]))
+		ctx.isbox.Store(i, uint32(inv[i]))
+		ctx.e.Compute(2)
+	}
+	// Key expansion (AES-128: 44 words), reading the S-box from
+	// simulated memory.
+	for i := 0; i < 4; i++ {
+		ctx.roundKey.Store(i, key[i])
+	}
+	rcon := uint32(1)
+	for i := 4; i < 44; i++ {
+		t := ctx.roundKey.Load(i - 1)
+		if i%4 == 0 {
+			t = t<<8 | t>>24 // RotWord
+			t = ctx.subWord(t)
+			t ^= rcon << 24
+			rcon = uint32(xtime(byte(rcon)))
+		}
+		ctx.roundKey.Store(i, ctx.roundKey.Load(i-4)^t)
+		ctx.e.Compute(8)
+	}
+	return ctx
+}
+
+func (c *aesContext) subWord(w uint32) uint32 {
+	return c.sbox.Load(int(w>>24))<<24 |
+		c.sbox.Load(int(w>>16&0xff))<<16 |
+		c.sbox.Load(int(w>>8&0xff))<<8 |
+		c.sbox.Load(int(w&0xff))
+}
+
+// state is the 16-byte AES state as 4 big-endian words.
+type aesState [4]uint32
+
+func (s *aesState) byteAt(i int) byte { // column-major AES order
+	col := i / 4
+	row := i % 4
+	return byte(s[col] >> (24 - 8*row))
+}
+
+func (s *aesState) setByte(i int, b byte) {
+	col := i / 4
+	row := i % 4
+	shift := uint(24 - 8*row)
+	s[col] = s[col]&^(0xff<<shift) | uint32(b)<<shift
+}
+
+func (c *aesContext) addRoundKey(s *aesState, round int) {
+	for i := 0; i < 4; i++ {
+		s[i] ^= c.roundKey.Load(round*4 + i)
+	}
+	c.e.Compute(8)
+}
+
+func (c *aesContext) encryptBlock(s *aesState) {
+	c.addRoundKey(s, 0)
+	for round := 1; round <= 10; round++ {
+		// SubBytes
+		for i := 0; i < 4; i++ {
+			s[i] = c.subWord(s[i])
+		}
+		c.e.Compute(16)
+		// ShiftRows
+		shiftRows(s, false)
+		c.e.Compute(12)
+		// MixColumns (not in the last round)
+		if round != 10 {
+			for col := 0; col < 4; col++ {
+				mixColumn(s, col, false)
+			}
+			c.e.Compute(40)
+		}
+		c.addRoundKey(s, round)
+	}
+}
+
+func (c *aesContext) decryptBlock(s *aesState) {
+	c.addRoundKey(s, 10)
+	for round := 9; round >= 0; round-- {
+		shiftRows(s, true)
+		c.e.Compute(12)
+		for i := 0; i < 4; i++ {
+			s[i] = c.isbox.Load(int(s[i]>>24))<<24 |
+				c.isbox.Load(int(s[i]>>16&0xff))<<16 |
+				c.isbox.Load(int(s[i]>>8&0xff))<<8 |
+				c.isbox.Load(int(s[i]&0xff))
+		}
+		c.e.Compute(16)
+		c.addRoundKey(s, round)
+		if round != 0 {
+			for col := 0; col < 4; col++ {
+				mixColumn(s, col, true)
+			}
+			c.e.Compute(60)
+		}
+	}
+}
+
+// shiftRows rotates row r left by r (or right for inverse).
+func shiftRows(s *aesState, inverse bool) {
+	var b [16]byte
+	for i := 0; i < 16; i++ {
+		b[i] = s.byteAt(i)
+	}
+	for row := 1; row < 4; row++ {
+		var n [4]byte
+		for col := 0; col < 4; col++ {
+			src := (col + row) % 4
+			if inverse {
+				src = (col - row + 4) % 4
+			}
+			n[col] = b[src*4+row]
+		}
+		for col := 0; col < 4; col++ {
+			s.setByte(col*4+row, n[col])
+		}
+	}
+}
+
+func mixColumn(s *aesState, col int, inverse bool) {
+	a0 := s.byteAt(col * 4)
+	a1 := s.byteAt(col*4 + 1)
+	a2 := s.byteAt(col*4 + 2)
+	a3 := s.byteAt(col*4 + 3)
+	var r0, r1, r2, r3 byte
+	if !inverse {
+		r0 = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3
+		r1 = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3
+		r2 = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)
+		r3 = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)
+	} else {
+		r0 = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9)
+		r1 = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13)
+		r2 = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11)
+		r3 = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14)
+	}
+	s.setByte(col*4, r0)
+	s.setByte(col*4+1, r1)
+	s.setByte(col*4+2, r2)
+	s.setByte(col*4+3, r3)
+}
+
+var aesKey = [4]uint32{0x2b7e1516, 0x28aed2a6, 0xabf71588, 0x09cf4f3c}
+
+func rijndaelEncRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	blocks := aesBlocksPerScale * scale
+	in := e.Alloc(blocks * 4)
+	out := e.Alloc(blocks * 4)
+	r := newRNG(0xae5e)
+	for i := 0; i < in.Len(); i++ {
+		in.Store(i, r.next())
+		e.Compute(2)
+	}
+	ctx := newAESContext(e, aesKey)
+	for b := 0; b < blocks; b++ {
+		var s aesState
+		for i := 0; i < 4; i++ {
+			s[i] = in.Load(b*4 + i)
+		}
+		ctx.encryptBlock(&s)
+		for i := 0; i < 4; i++ {
+			out.Store(b*4+i, s[i])
+		}
+	}
+	return out.Checksum(0)
+}
+
+func rijndaelDecRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	blocks := aesBlocksPerScale * scale
+	ct := e.Alloc(blocks * 4)
+	pt := e.Alloc(blocks * 4)
+	r := newRNG(0xae5d)
+	for i := 0; i < ct.Len(); i++ {
+		ct.Store(i, r.next())
+		e.Compute(2)
+	}
+	ctx := newAESContext(e, aesKey)
+	for b := 0; b < blocks; b++ {
+		var s aesState
+		for i := 0; i < 4; i++ {
+			s[i] = ct.Load(b*4 + i)
+		}
+		ctx.decryptBlock(&s)
+		for i := 0; i < 4; i++ {
+			pt.Store(b*4+i, s[i])
+		}
+	}
+	return pt.Checksum(0)
+}

@@ -1,0 +1,71 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// SHA-1 (MiBench/MediaBench "sha"): the real algorithm hashing a
+// synthesized message held in simulated memory, one 16-word block at
+// a time.
+
+const shaBlocksPerScale = 1024
+
+func shaRun(m isa.Machine, scale int) uint32 {
+	e := NewEnv(m)
+	blocks := shaBlocksPerScale * scale
+	msg := e.Alloc(blocks * 16)
+	digest := e.Alloc(5)
+
+	r := newRNG(0x57a ^ 0x1234567)
+	for i := 0; i < msg.Len(); i++ {
+		msg.Store(i, r.next())
+		e.Compute(3)
+	}
+
+	h0, h1, h2, h3, h4 := uint32(0x67452301), uint32(0xEFCDAB89), uint32(0x98BADCFE), uint32(0x10325476), uint32(0xC3D2E1F0)
+	w := e.Alloc(80) // message schedule lives in memory, as in the C code
+	for b := 0; b < blocks; b++ {
+		for t := 0; t < 16; t++ {
+			w.Store(t, msg.Load(b*16+t))
+			e.Compute(2)
+		}
+		for t := 16; t < 80; t++ {
+			x := w.Load(t-3) ^ w.Load(t-8) ^ w.Load(t-14) ^ w.Load(t-16)
+			w.Store(t, rotl32(x, 1))
+			e.Compute(5)
+		}
+		a, bb, c, d, ee := h0, h1, h2, h3, h4
+		for t := 0; t < 80; t++ {
+			var f, k uint32
+			switch {
+			case t < 20:
+				f = (bb & c) | ((^bb) & d)
+				k = 0x5A827999
+			case t < 40:
+				f = bb ^ c ^ d
+				k = 0x6ED9EBA1
+			case t < 60:
+				f = (bb & c) | (bb & d) | (c & d)
+				k = 0x8F1BBCDC
+			default:
+				f = bb ^ c ^ d
+				k = 0xCA62C1D6
+			}
+			tmp := rotl32(a, 5) + f + ee + k + w.Load(t)
+			ee, d, c, bb, a = d, c, rotl32(bb, 30), a, tmp
+			e.Compute(9)
+		}
+		h0 += a
+		h1 += bb
+		h2 += c
+		h3 += d
+		h4 += ee
+		e.Compute(5)
+	}
+	digest.Store(0, h0)
+	digest.Store(1, h1)
+	digest.Store(2, h2)
+	digest.Store(3, h3)
+	digest.Store(4, h4)
+	return digest.Checksum(0)
+}
+
+func rotl32(x uint32, n uint) uint32 { return x<<n | x>>(32-n) }

@@ -1,0 +1,127 @@
+package workload
+
+import "wlcache/internal/isa"
+
+// susancorners / susanedges (MediaBench/MiBench image): the SUSAN
+// low-level vision algorithm — for every pixel, count the pixels in a
+// circular mask whose brightness is similar to the nucleus (the USAN
+// area) via a lookup table, then threshold against the geometric
+// limit to flag corners/edges. The image and the brightness LUT live
+// in simulated memory.
+
+const (
+	susanW          = 128
+	susanH          = 96
+	susanBrightness = 20 // similarity threshold
+)
+
+// susanMask is the classic 37-pixel circular mask (offsets dx, dy).
+var susanMask = [][2]int{
+	{-1, -3}, {0, -3}, {1, -3},
+	{-2, -2}, {-1, -2}, {0, -2}, {1, -2}, {2, -2},
+	{-3, -1}, {-2, -1}, {-1, -1}, {0, -1}, {1, -1}, {2, -1}, {3, -1},
+	{-3, 0}, {-2, 0}, {-1, 0}, {1, 0}, {2, 0}, {3, 0},
+	{-3, 1}, {-2, 1}, {-1, 1}, {0, 1}, {1, 1}, {2, 1}, {3, 1},
+	{-2, 2}, {-1, 2}, {0, 2}, {1, 2}, {2, 2},
+	{-1, 3}, {0, 3}, {1, 3},
+}
+
+// susanImage synthesizes a grayscale test card: gradient background
+// with rectangles and diagonal lines so corners and edges exist.
+func susanImage(e *Env, img Arr, seed uint32) {
+	r := newRNG(seed)
+	for y := 0; y < susanH; y++ {
+		for x := 0; x < susanW; x++ {
+			v := uint32(((x*2 + y) & 0xff) / 4 * 2)
+			img.Store(y*susanW+x, v)
+			e.Compute(4)
+		}
+	}
+	// Bright rectangles.
+	for b := 0; b < 10; b++ {
+		x0, y0 := r.intn(susanW-24), r.intn(susanH-24)
+		w, hh := 8+r.intn(16), 8+r.intn(16)
+		lum := uint32(120 + r.intn(120))
+		for y := y0; y < y0+hh; y++ {
+			for x := x0; x < x0+w; x++ {
+				img.Store(y*susanW+x, lum)
+				e.Compute(2)
+			}
+		}
+	}
+}
+
+// susanLUT builds the exp-like brightness similarity table the C code
+// precomputes: lut[d+256] = 100 * exp(-(d/t)^6), in integer form.
+func susanLUT(e *Env, lut Arr) {
+	for d := -256; d < 256; d++ {
+		ad := d
+		if ad < 0 {
+			ad = -ad
+		}
+		// Integer approximation of 100*exp(-(d/t)^6).
+		x := (ad * 100) / susanBrightness
+		var v uint32
+		switch {
+		case x < 80:
+			v = 100
+		case x < 100:
+			v = uint32(100 - (x-80)*4)
+		case x < 120:
+			v = uint32(20 - (x - 100))
+		default:
+			v = 0
+		}
+		lut.Store(d+256, v)
+		e.Compute(6)
+	}
+}
+
+// susanCore computes the USAN response for every interior pixel.
+// maxArea is the geometric threshold (smaller for corners).
+func susanCore(e *Env, img, lut, resp Arr, maxArea uint32) uint32 {
+	h := uint32(2166136261)
+	for y := 3; y < susanH-3; y++ {
+		for x := 3; x < susanW-3; x++ {
+			nucleus := int(img.Load(y*susanW + x))
+			area := uint32(0)
+			for _, off := range susanMask {
+				p := int(img.Load((y+off[1])*susanW + x + off[0]))
+				area += lut.Load(p - nucleus + 256)
+				e.Compute(5)
+			}
+			var r uint32
+			if area < maxArea {
+				r = maxArea - area // USAN response
+			}
+			resp.Store(y*susanW+x, r)
+			h = mix(h, r)
+			e.Compute(6)
+		}
+	}
+	return h
+}
+
+func susanRun(m isa.Machine, scale int, maxArea uint32, seed uint32) uint32 {
+	e := NewEnv(m)
+	img := e.Alloc(susanW * susanH)
+	lut := e.Alloc(512)
+	resp := e.Alloc(susanW * susanH)
+	susanLUT(e, lut)
+	h := uint32(0)
+	for frame := 0; frame < scale; frame++ {
+		susanImage(e, img, seed+uint32(frame)*0x9e37)
+		h = mix(h, susanCore(e, img, lut, resp, maxArea))
+	}
+	return mix(h, resp.Checksum(h))
+}
+
+func susanCornersRun(m isa.Machine, scale int) uint32 {
+	// Corners: geometric threshold at half the mask area.
+	return susanRun(m, scale, 37*100/2, 0x5c0a)
+}
+
+func susanEdgesRun(m isa.Machine, scale int) uint32 {
+	// Edges: threshold at 3/4 of the mask area.
+	return susanRun(m, scale, 37*100*3/4, 0x5ed6)
+}

@@ -1,0 +1,116 @@
+package wlcache_test
+
+import (
+	"testing"
+
+	"wlcache"
+)
+
+// TestPublicAPIQuickstart exercises the facade the README documents.
+func TestPublicAPIQuickstart(t *testing.T) {
+	nvm := wlcache.NewNVM()
+	design := wlcache.NewWLCache(wlcache.DefaultCacheConfig(), nvm)
+	cfg := wlcache.DefaultSimConfig()
+	cfg.Trace = wlcache.Trace(wlcache.Trace1)
+	cfg.CheckInvariants = true
+	s, err := wlcache.NewSimulator(cfg, design, nvm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run("api", func(m wlcache.Machine) uint32 {
+		var h uint32
+		for i := 0; i < 5000; i++ {
+			a := uint32(0x1000 + (i%512)*4)
+			m.Store32(a, uint32(i))
+			h ^= m.Load32(a)
+			m.Compute(10)
+		}
+		return h
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 || res.ExecTime == 0 {
+		t.Fatal("empty result")
+	}
+}
+
+// TestPublicAPIDesigns builds every exported design constructor and
+// runs a short program on each.
+func TestPublicAPIDesigns(t *testing.T) {
+	geo := wlcache.DefaultGeometry()
+	builders := map[string]func(*wlcache.NVM) wlcache.Design{
+		"wl":          func(n *wlcache.NVM) wlcache.Design { return wlcache.NewWLCache(wlcache.DefaultCacheConfig(), n) },
+		"nvsram":      func(n *wlcache.NVM) wlcache.Design { return wlcache.NewNVSRAM(geo, n) },
+		"wt":          func(n *wlcache.NVM) wlcache.Design { return wlcache.NewVCacheWT(geo, n) },
+		"nvcache":     func(n *wlcache.NVM) wlcache.Design { return wlcache.NewNVCacheWB(geo, n) },
+		"replay":      func(n *wlcache.NVM) wlcache.Design { return wlcache.NewReplayCache(geo, n) },
+		"nocache":     func(n *wlcache.NVM) wlcache.Design { return wlcache.NewNoCache(n) },
+		"broken":      func(n *wlcache.NVM) wlcache.Design { return wlcache.NewBrokenVolatileWB(geo, n) },
+		"nvsram-full": func(n *wlcache.NVM) wlcache.Design { return wlcache.NewNVSRAMFull(geo, n) },
+		"nvsram-prac": func(n *wlcache.NVM) wlcache.Design { return wlcache.NewNVSRAMPractical(geo, n) },
+		"wt-buffer":   func(n *wlcache.NVM) wlcache.Design { return wlcache.NewWTBuffer(geo, n) },
+	}
+	var sums []uint32
+	for name, build := range builders {
+		nvm := wlcache.NewNVM()
+		s, err := wlcache.NewSimulator(wlcache.DefaultSimConfig(), build(nvm), nvm)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := s.Run(name, func(m wlcache.Machine) uint32 {
+			h := uint32(0)
+			for i := 0; i < 2000; i++ {
+				a := uint32(0x2000 + (i%128)*4)
+				m.Store32(a, uint32(i)^h)
+				h = m.Load32(a) ^ h<<1
+				m.Compute(5)
+			}
+			return h
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sums = append(sums, res.Checksum)
+	}
+	for _, s := range sums[1:] {
+		if s != sums[0] {
+			t.Fatal("designs disagree on the program result (without power failures!)")
+		}
+	}
+}
+
+// TestPublicAPIWorkloads lists and runs a paper benchmark.
+func TestPublicAPIWorkloads(t *testing.T) {
+	if len(wlcache.Workloads()) != 23 {
+		t.Fatalf("Workloads() = %d entries", len(wlcache.Workloads()))
+	}
+	w, ok := wlcache.WorkloadByName("dijkstra")
+	if !ok {
+		t.Fatal("dijkstra missing")
+	}
+	nvm := wlcache.NewNVM()
+	s, err := wlcache.NewSimulator(wlcache.DefaultSimConfig(), wlcache.NewWLCache(wlcache.DefaultCacheConfig(), nvm), nvm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(w.Name, func(m wlcache.Machine) uint32 { return w.Run(m, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum == 0 {
+		t.Fatal("suspicious zero checksum")
+	}
+}
+
+// TestTraceAccessors covers the trace facade.
+func TestTraceAccessors(t *testing.T) {
+	if wlcache.Trace(wlcache.NoFailures) != nil {
+		t.Fatal("NoFailures must have nil trace")
+	}
+	for _, src := range []wlcache.Source{wlcache.Trace1, wlcache.Trace2, wlcache.Trace3, wlcache.Solar, wlcache.Thermal} {
+		if tr := wlcache.Trace(src); tr == nil || tr.Mean() <= 0 {
+			t.Fatalf("trace %s unusable", src)
+		}
+	}
+}
