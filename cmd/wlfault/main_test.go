@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// A small matrix must flag the broken negative control and pass
+// WL-Cache, exiting zero because both verdicts match expectations.
+func TestAuditDifferentialSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var b strings.Builder
+	code, err := run([]string{
+		"-designs", "wl,broken",
+		"-workloads", "adpcmencode",
+		"-modes", "crash,ackloss",
+		"-seeds", "1",
+		"-points", "3",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if code != 0 {
+		t.Fatalf("exit code %d (verdicts deviated from expectations):\n%s", code, out)
+	}
+	if !strings.Contains(out, "all verdicts as expected") {
+		t.Fatalf("missing summary line:\n%s", out)
+	}
+	for _, want := range []string{"wl", "broken", "crash", "ackloss", "verdict"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	brokenRow := rowOf(t, out, "broken")
+	if !strings.Contains(brokenRow, "FAIL") {
+		t.Fatalf("broken row has no FAIL: %q", brokenRow)
+	}
+	wlRow := rowOf(t, out, "wl ")
+	if strings.Contains(wlRow, "FAIL") {
+		t.Fatalf("wl row has a FAIL: %q", wlRow)
+	}
+}
+
+// A sound design unexpectedly failing (here: none do, so we fake the
+// expectation by auditing only the broken design, whose FAIL is
+// expected) keeps the exit code zero; auditing it as if it were sound
+// is not possible through flags, so instead check that bad flag input
+// errors out.
+func TestBadFlagsError(t *testing.T) {
+	var b strings.Builder
+	if _, err := run([]string{"-modes", "bogus"}, &b); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if _, err := run([]string{"-seeds", "x"}, &b); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+	if _, err := run([]string{"-workloads", "bogus"}, &b); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// rowOf extracts the table line starting with the given label.
+func rowOf(t *testing.T, out, prefix string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), prefix) {
+			return line
+		}
+	}
+	t.Fatalf("no row %q in:\n%s", prefix, out)
+	return ""
+}
+
+func TestUnknownDesignErrors(t *testing.T) {
+	var b strings.Builder
+	if _, err := run([]string{"-designs", "bogus"}, &b); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}

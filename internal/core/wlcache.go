@@ -88,6 +88,8 @@ type WLCache struct {
 	// probe reports whether the capacitor can afford raising the
 	// reserve to newReserve joules right now (dynamic adaptation, §4).
 	probe func(newReserve float64) bool
+	// ackFilter, when set, may drop write-back ACKs (fault injection).
+	ackFilter func(id uint64, addr uint32) bool
 
 	extra   stats.DesignExtra
 	lineBuf []uint32
@@ -147,6 +149,13 @@ func (c *WLCache) Queue() *DirtyQueue { return c.dq }
 // BindEnergyProbe installs the residual-energy probe used by dynamic
 // adaptation; the simulator calls this when it owns the capacitor.
 func (c *WLCache) BindEnergyProbe(p func(newReserve float64) bool) { c.probe = p }
+
+// SetACKFilter installs a fault-injection hook on the asynchronous
+// write-back ACK path (§5.3 step 4): when f returns false the ACK is
+// dropped — the NVM write itself completed, but the DirtyQueue entry
+// is not removed and must be lazily discarded as stale by victim
+// selection and checkpointing (§5.4). nil removes the hook.
+func (c *WLCache) SetACKFilter(f func(id uint64, addr uint32) bool) { c.ackFilter = f }
 
 // ReserveEnergy returns the joules that must be reserved for a JIT
 // checkpoint: the fixed register/threshold cost plus maxline full-line
@@ -411,11 +420,18 @@ func (c *WLCache) insertInflight(w inflightWB) {
 }
 
 // drainACKs completes every write-back whose ACK has arrived by time
-// now, removing the matching DirtyQueue entries (step 4, §5.3).
+// now, removing the matching DirtyQueue entries (step 4, §5.3). A
+// dropped ACK (fault injection) leaves its entry in the queue; the
+// stale-entry discard of §5.4 reclaims the slot later.
 func (c *WLCache) drainACKs(now int64) {
 	for len(c.inflight) > 0 && c.inflight[0].done <= now {
-		c.dq.RemoveID(c.inflight[0].id)
+		w := c.inflight[0]
 		c.inflight = c.inflight[1:]
+		if c.ackFilter != nil && !c.ackFilter(w.id, w.addr) {
+			c.extra.DroppedACKs++
+			continue
+		}
+		c.dq.RemoveID(w.id)
 	}
 }
 

@@ -1,0 +1,85 @@
+package designs
+
+import (
+	"wlcache/internal/cache"
+	"wlcache/internal/energy"
+	"wlcache/internal/isa"
+	"wlcache/internal/mem"
+)
+
+// Design mirrors the simulator's Design contract structurally, so this
+// package can enumerate its implementations without importing
+// internal/sim (which package sim's own tests import alongside this
+// one). Any value satisfying this interface satisfies sim.Design.
+type Design interface {
+	Name() string
+	Access(now int64, op isa.Op, addr uint32, val uint32) (v uint32, done int64, eb energy.Breakdown)
+	Checkpoint(now int64) (done int64, eb energy.Breakdown)
+	Restore(now int64) (done int64, eb energy.Breakdown)
+	ReserveEnergy() float64
+	LeakPower() float64
+	DurableEqual(golden *mem.Store) error
+}
+
+// Builder constructs one baseline design over the given NVM. Designs
+// with fixed internals (NoCache has no array, NVSRAMPractical fixes
+// its policy) ignore the parameters they do not take.
+type Builder func(geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) Design
+
+// builders registers every baseline of the evaluation (§2.3, §3.3,
+// §6.1, §7) plus the deliberately unsafe negative control ("broken"),
+// keyed by the same kind names internal/expt uses. WL-Cache variants
+// live in internal/core and are wired separately by expt.
+var builders = map[string]Builder{
+	"nocache": func(_ cache.Geometry, _ cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) Design {
+		return NewNoCache(jit, nvm)
+	},
+	"vcache-wt": func(geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) Design {
+		return NewVCacheWT(geo, cache.SRAMTech(), pol, jit, nvm)
+	},
+	"wt-buffer": func(geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) Design {
+		return NewWTBuffer(geo, cache.SRAMTech(), pol, jit, DefaultWTBufferParams(), nvm)
+	},
+	"nvcache-wb": func(geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) Design {
+		return NewNVCacheWB(geo, pol, jit, nvm)
+	},
+	"nvsram": func(geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) Design {
+		return NewNVSRAM(geo, pol, jit, DefaultNVSRAMParams(), nvm)
+	},
+	"nvsram-full": func(geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) Design {
+		return NewNVSRAMFull(geo, pol, jit, DefaultNVSRAMParams(), nvm)
+	},
+	"nvsram-practical": func(geo cache.Geometry, _ cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) Design {
+		return NewNVSRAMPractical(geo, jit, DefaultNVSRAMParams(), nvm)
+	},
+	"eager-wb": func(geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) Design {
+		return NewEagerWB(geo, pol, jit, nvm)
+	},
+	"replaycache": func(geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) Design {
+		return NewReplayCache(geo, pol, jit, DefaultReplayParams(), nvm)
+	},
+	"broken": func(geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) Design {
+		return NewBrokenVolatileWB(geo, pol, jit, nvm)
+	},
+}
+
+// names lists the registry in Table 1 / §6.1 presentation order, with
+// the negative control last.
+var names = []string{
+	"nocache", "vcache-wt", "wt-buffer", "nvcache-wb",
+	"nvsram", "nvsram-full", "nvsram-practical",
+	"eager-wb", "replaycache", "broken",
+}
+
+// Names returns every registered baseline kind in presentation order.
+func Names() []string { return append([]string(nil), names...) }
+
+// Build constructs the named baseline over nvm, reporting ok=false for
+// kinds this registry does not know (the WL-Cache kinds).
+func Build(kind string, geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, nvm *mem.NVM) (Design, bool) {
+	b, ok := builders[kind]
+	if !ok {
+		return nil, false
+	}
+	return b(geo, pol, jit, nvm), true
+}

@@ -5,9 +5,18 @@
 package energy
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrUnderVoltage reports that a draw discharged the capacitor below
+// the operating floor it was supposed to respect. Outside the JIT
+// checkpoint window the voltage must never fall below VMin: crossing
+// it means the energy model skipped the Vbackup band entirely (an
+// injected fault or a mis-sized reserve), and continuing would produce
+// nonsense voltages. Callers classify with errors.Is.
+var ErrUnderVoltage = errors.New("energy: voltage fell below operating floor")
 
 // Breakdown tallies consumed energy (joules) by subsystem, mirroring
 // the categories of Figure 13(b).
@@ -99,6 +108,21 @@ func (c *Capacitor) Draw(e float64) {
 		return
 	}
 	c.v = math.Sqrt(rem)
+}
+
+// DrawGuarded removes e joules like Draw, but returns an error
+// wrapping ErrUnderVoltage when the resulting voltage falls below
+// vFloor. The draw is applied either way (the energy is physically
+// gone); the error lets simulation fail loudly instead of running on
+// with a nonsense voltage. Checkpoint-phase draws, which legitimately
+// spend the reserve band down to VMin, should keep using Draw.
+func (c *Capacitor) DrawGuarded(e, vFloor float64) error {
+	c.Draw(e)
+	if c.v < vFloor-1e-9 {
+		return fmt.Errorf("%w: %.4f V after drawing %.3g J (floor %.4f V)",
+			ErrUnderVoltage, c.v, e, vFloor)
+	}
+	return nil
 }
 
 // Harvest adds e joules, clamping at vMax (excess harvest is shed, as

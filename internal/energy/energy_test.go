@@ -1,6 +1,7 @@
 package energy
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -179,5 +180,27 @@ func TestCapacitorQuickConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDrawGuardedUnderVoltage(t *testing.T) {
+	c := NewCapacitor(1e-6, 2.8, 3.5)
+	// A small draw keeps the voltage above the floor.
+	if err := c.DrawGuarded(1e-7, 2.8); err != nil {
+		t.Fatalf("legitimate draw flagged: %v", err)
+	}
+	// Draining to the floor and drawing more must trip the guard with
+	// the typed sentinel.
+	c.SetVoltage(2.8)
+	err := c.DrawGuarded(1e-7, 2.8)
+	if err == nil {
+		t.Fatal("under-voltage draw not flagged")
+	}
+	if !errors.Is(err, ErrUnderVoltage) {
+		t.Fatalf("error %v does not wrap ErrUnderVoltage", err)
+	}
+	// The draw still happened: the guard reports, it does not veto.
+	if c.Voltage() >= 2.8 {
+		t.Fatalf("voltage %g not drawn down", c.Voltage())
 	}
 }

@@ -40,11 +40,25 @@ const (
 	KindWL      Kind = "wl" // adaptive (static boot-time), FIFO DQ, LRU cache — the default
 	KindWLFixed Kind = "wl-fixed"
 	KindWLDyn   Kind = "wl-dyn"
+	// KindBroken is the negative control: a plain volatile write-back
+	// cache with no cache checkpointing. The fault audit must flag it.
+	KindBroken Kind = "broken"
 )
 
 // FigureKinds are the designs the main figures compare, in plot order.
 func FigureKinds() []Kind {
 	return []Kind{KindNVCache, KindVCacheWT, KindReplay, KindWL}
+}
+
+// AllKinds returns every buildable design kind — the full baseline
+// registry (including the broken negative control) followed by the
+// WL-Cache variants. The fault audit runs differentially over this.
+func AllKinds() []Kind {
+	var ks []Kind
+	for _, n := range designs.Names() {
+		ks = append(ks, Kind(n))
+	}
+	return append(ks, KindWLFixed, KindWL, KindWLDyn)
 }
 
 // Options tune a design build; zero values mean paper defaults.
@@ -89,25 +103,10 @@ func NewDesign(kind Kind, opts Options) (sim.Design, *mem.NVM) {
 	if opts.SoftwareJIT {
 		jit = energy.SoftwareJITCosts()
 	}
+	if d, ok := designs.Build(string(kind), opts.Geometry, opts.CachePolicy, jit, nvm); ok {
+		return d, nvm
+	}
 	switch kind {
-	case KindNoCache:
-		return designs.NewNoCache(jit, nvm), nvm
-	case KindVCacheWT:
-		return designs.NewVCacheWT(opts.Geometry, cache.SRAMTech(), opts.CachePolicy, jit, nvm), nvm
-	case KindNVCache:
-		return designs.NewNVCacheWB(opts.Geometry, opts.CachePolicy, jit, nvm), nvm
-	case KindNVSRAM:
-		return designs.NewNVSRAM(opts.Geometry, opts.CachePolicy, jit, designs.DefaultNVSRAMParams(), nvm), nvm
-	case KindNVSRAMFull:
-		return designs.NewNVSRAMFull(opts.Geometry, opts.CachePolicy, jit, designs.DefaultNVSRAMParams(), nvm), nvm
-	case KindNVSRAMPractical:
-		return designs.NewNVSRAMPractical(opts.Geometry, jit, designs.DefaultNVSRAMParams(), nvm), nvm
-	case KindWTBuffer:
-		return designs.NewWTBuffer(opts.Geometry, cache.SRAMTech(), opts.CachePolicy, jit, designs.DefaultWTBufferParams(), nvm), nvm
-	case KindEagerWB:
-		return designs.NewEagerWB(opts.Geometry, opts.CachePolicy, jit, nvm), nvm
-	case KindReplay:
-		return designs.NewReplayCache(opts.Geometry, opts.CachePolicy, jit, designs.DefaultReplayParams(), nvm), nvm
 	case KindWL, KindWLFixed, KindWLDyn:
 		cfg := core.DefaultConfig()
 		cfg.JIT = jit

@@ -1,0 +1,72 @@
+// Package fault is the fault-injection and crash-consistency audit
+// subsystem. It drives the simulator off the happy path with
+// deterministic, seed-driven injectors — forced power failures at
+// arbitrary instruction boundaries, torn NVM line writes, lost
+// write-back ACKs — and audits every cache design differentially: a
+// crash-point explorer sweeps sampled crash points across a workload,
+// re-runs to completion, and verifies durability and the final
+// checksum against an uninterrupted golden run.
+//
+// # Fault modes and fairness
+//
+// Modes split along the hardware contract of §2/§3:
+//
+//   - Fair modes (ModeCrash, ModeAckLoss) stay inside the contract:
+//     the reserved energy band guarantees the JIT checkpoint completes
+//     and in-flight NVM writes drain, so a sound design must finish
+//     with no error and the golden checksum (Outcome ok). Anything
+//     else — including a *detected* inconsistency — fails the audit.
+//
+//   - Unfair modes (ModeTornWB, ModeTornCkpt) violate the contract:
+//     line writes are torn mid-persist, including the checkpoint's
+//     own flushes. No design can promise full recovery here; the
+//     audit instead proves there is no *silent* corruption. Outcome
+//     ok (the design's redundancy repaired the tear) and detected
+//     (a durability or load check caught it) both pass; a run that
+//     completes with a wrong checksum (corrupt) always fails.
+//
+// The deliberately unsafe "broken" design must fail the fair modes;
+// every sound design must pass all modes with zero false positives.
+package fault
+
+// Mode names one fault-injection class.
+type Mode string
+
+// The injection classes of the audit matrix.
+const (
+	// ModeCrash forces power failures at sampled instruction
+	// boundaries, including while asynchronous write-backs are in
+	// flight and between any two stores.
+	ModeCrash Mode = "crash"
+	// ModeAckLoss additionally drops write-back ACK signals on the
+	// DirtyQueue async write-back path: the line write persists but
+	// the queue entry is never removed and must be reclaimed by the
+	// §5.4 lazy stale-entry discard.
+	ModeAckLoss Mode = "ackloss"
+	// ModeTornWB additionally tears NVM line writes still in flight
+	// at the crash point: only a prefix of the line (prorated by how
+	// far the write had progressed) survives in the array.
+	ModeTornWB Mode = "tornwb"
+	// ModeTornCkpt tears the forced JIT checkpoint itself: the first
+	// k line flushes persist fully, the next persists a prefix, and
+	// the rest are lost — a checkpoint interrupted after k of n dirty
+	// lines.
+	ModeTornCkpt Mode = "tornckpt"
+)
+
+// Modes returns every injection class in audit order.
+func Modes() []Mode { return []Mode{ModeCrash, ModeAckLoss, ModeTornWB, ModeTornCkpt} }
+
+// Fair reports whether the mode stays within the hardware contract,
+// in which case sound designs must recover completely (see the
+// package comment for the full fairness model).
+func (m Mode) Fair() bool { return m == ModeCrash || m == ModeAckLoss }
+
+// Valid reports whether m names a known injection class.
+func (m Mode) Valid() bool {
+	switch m {
+	case ModeCrash, ModeAckLoss, ModeTornWB, ModeTornCkpt:
+		return true
+	}
+	return false
+}

@@ -52,15 +52,38 @@ func (t Traffic) WriteBytes() uint64 { return t.WriteWords * 4 }
 // ReadBytes returns the read traffic in bytes.
 func (t Traffic) ReadBytes() uint64 { return t.ReadWords * 4 }
 
+// LineWrite describes one full-line write for fault injection: when it
+// was issued, when the single port begins and completes it, and the
+// words being written. Data is only valid for the duration of the hook
+// call; hooks must copy it if they retain it.
+type LineWrite struct {
+	Now   int64 // issue time
+	Start int64 // when the port begins the write (>= Now)
+	Done  int64 // when the write completes
+	Addr  uint32
+	Data  []uint32
+}
+
+// LineWriteHook observes every full-line write before it persists and
+// returns how many leading words actually reach the NVM image; values
+// >= len(Data) persist the whole line. This models torn line writes: a
+// power failure landing inside the write window leaves only a prefix
+// of the line in the array (word persists are atomic, line persists
+// are not). Timing and energy are charged in full either way — the
+// write was attempted. A nil hook (the default) persists everything.
+type LineWriteHook func(w LineWrite) int
+
 // NVM is the non-volatile main memory: a value store fronted by a
 // single-ported timing model. Accesses serialize on the port; an
 // access issued at time now while the port is busy starts when the
-// port frees. Contents survive power failure by construction.
+// port frees. Contents survive power failure by construction — except
+// where an installed LineWriteHook injects torn writes.
 type NVM struct {
 	params    NVMParams
 	image     *Store
 	busyUntil int64
 	traffic   Traffic
+	lineHook  LineWriteHook
 }
 
 // NewNVM returns an NVM with the given parameters and an all-zero image.
@@ -113,13 +136,29 @@ func (n *NVM) ReadLine(now int64, addr uint32, dst []uint32) (done int64, energy
 }
 
 // WriteLine writes the words in src starting at addr (write-back path).
+// An installed LineWriteHook may truncate the persist to a prefix.
 func (n *NVM) WriteLine(now int64, addr uint32, src []uint32) (done int64, energy float64) {
-	done = n.occupy(now, n.params.LineWriteLatency)
-	n.image.WriteLine(addr, src)
+	start := now
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	done = start + n.params.LineWriteLatency
+	n.busyUntil = done
+	persist := len(src)
+	if n.lineHook != nil {
+		if k := n.lineHook(LineWrite{Now: now, Start: start, Done: done, Addr: addr, Data: src}); k < persist {
+			persist = max(k, 0)
+		}
+	}
+	n.image.WriteLine(addr, src[:persist])
 	n.traffic.WriteWords += uint64(len(src))
 	n.traffic.Writes++
 	return done, n.params.LineWriteEnergy
 }
+
+// SetLineWriteHook installs (or, with nil, removes) the fault-injection
+// hook consulted on every full-line write.
+func (n *NVM) SetLineWriteHook(h LineWriteHook) { n.lineHook = h }
 
 // BusyUntil returns the time at which the port frees.
 func (n *NVM) BusyUntil() int64 { return n.busyUntil }

@@ -58,6 +58,11 @@ type Config struct {
 
 	// MaxOutages aborts runaway simulations (0 = default limit).
 	MaxOutages uint64
+
+	// FaultPlan optionally injects crashes at instruction boundaries
+	// and observes checkpoint windows (internal/fault). nil disables
+	// injection; forced crashes work with or without a power trace.
+	FaultPlan FaultPlan
 }
 
 // DefaultConfig returns the paper's default machine configuration.

@@ -1,0 +1,25 @@
+package sim
+
+import "errors"
+
+// Typed sentinel errors for the simulator's failure classes. Every
+// fatal path out of Run wraps one of these (or returns a plain
+// configuration error), so auditors — the fault-injection explorer in
+// internal/fault in particular — can classify outcomes with errors.Is
+// instead of matching message strings.
+var (
+	// ErrCrashConsistency marks a durability violation: the durable
+	// image diverged from the architectural golden image after a
+	// checkpoint, or a load returned a value that contradicts it.
+	ErrCrashConsistency = errors.New("sim: crash consistency violated")
+
+	// ErrNoProgress marks a run that stopped retiring instructions:
+	// too many consecutive zero-progress outages, or the total outage
+	// budget was exhausted.
+	ErrNoProgress = errors.New("sim: no forward progress")
+
+	// ErrReserveExhausted marks a JIT checkpoint that drew the
+	// capacitor below VMin: the design's ReserveEnergy under-provisions
+	// its own checkpoint.
+	ErrReserveExhausted = errors.New("sim: checkpoint reserve exhausted")
+)

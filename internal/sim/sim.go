@@ -28,8 +28,11 @@ type Simulator struct {
 	instrAtBoot uint64
 	noProgress  int
 
+	// inCheckpoint marks the JIT checkpoint window, during which draws
+	// may legitimately spend the reserve band down toward VMin.
+	inCheckpoint bool
+
 	res Result
-	err error
 }
 
 // simAbort carries a fatal simulation error through the workload's
@@ -59,10 +62,15 @@ func New(cfg Config, design Design, nvm *mem.NVM) (*Simulator, error) {
 		binder.BindEnergyProbe(s.probeReserve)
 	}
 	// Sanity: the initial reserve must be chargeable on this capacitor.
-	vb := cfg.Vbackup(design.ReserveEnergy())
-	if cfg.Von(vb) <= vb {
-		return nil, fmt.Errorf("sim: reserve %.3g J needs Vbackup %.3f V, unreachable below VMax %.3f V",
-			design.ReserveEnergy(), vb, cfg.VMax)
+	// Only traced runs care — with uninterrupted power Vbackup is never
+	// consulted, and even infeasible designs (eager-wb on the default
+	// capacitor, §7) can run for reference and fault audits.
+	if cfg.Trace != nil {
+		vb := cfg.Vbackup(design.ReserveEnergy())
+		if cfg.Von(vb) <= vb {
+			return nil, fmt.Errorf("sim: reserve %.3g J needs Vbackup %.3f V, unreachable below VMax %.3f V",
+				design.ReserveEnergy(), vb, cfg.VMax)
+		}
 	}
 	return s, nil
 }
@@ -123,17 +131,23 @@ func (s *Simulator) Run(name string, program func(m isa.Machine) uint32) (res Re
 
 	// Final shutdown flush: not part of the measured execution time,
 	// but it completes durability so the NVM image can be audited.
+	if s.cfg.FaultPlan != nil {
+		s.cfg.FaultPlan.CheckpointStart(s.now, false)
+	}
 	_, _ = s.design.Checkpoint(s.now)
+	if s.cfg.FaultPlan != nil {
+		s.cfg.FaultPlan.CheckpointEnd(s.now)
+	}
 	if s.cfg.CheckInvariants {
 		if derr := s.design.DurableEqual(s.golden); derr != nil {
-			return s.res, fmt.Errorf("final durability check failed: %w", derr)
+			return s.res, fmt.Errorf("final durability check failed (%v): %w", derr, ErrCrashConsistency)
 		}
 	}
 	s.res.NVMTraffic = s.nvm.Traffic()
 	if es, ok := s.design.(ExtraStatser); ok {
 		s.res.Extra = es.ExtraStats()
 	}
-	return s.res, s.err
+	return s.res, nil
 }
 
 // Golden exposes the architectural reference image (tests).
@@ -153,8 +167,8 @@ func (s *Simulator) Load32(addr uint32) uint32 {
 	s.res.Loads++
 	if s.cfg.CheckInvariants {
 		if g := s.golden.Read(addr); g != v {
-			s.abort(fmt.Errorf("load %#x returned %#x, architectural value is %#x (design %s)",
-				addr, v, g, s.design.Name()))
+			s.abort(fmt.Errorf("load %#x returned %#x, architectural value is %#x (design %s): %w",
+				addr, v, g, s.design.Name(), ErrCrashConsistency))
 		}
 	}
 	return v
@@ -218,7 +232,13 @@ func (s *Simulator) advance(to int64, eb energy.Breakdown, phase *int64) {
 	eb.Leak += leak
 	if s.cfg.Trace != nil {
 		s.cap.Harvest(s.cfg.OnHarvestEff * s.cfg.Trace.Integrate(s.now, to))
-		s.cap.Draw(eb.Total())
+		if s.inCheckpoint {
+			// Checkpoints spend the reserved band; the post-checkpoint
+			// reserve check in powerFail polices VMin.
+			s.cap.Draw(eb.Total())
+		} else if err := s.cap.DrawGuarded(eb.Total(), s.cfg.VMin); err != nil {
+			s.abort(fmt.Errorf("at t=%d ps (design %s): %w", to, s.design.Name(), err))
+		}
 	}
 	s.res.Energy.Add(eb)
 	*phase += dt
@@ -226,8 +246,13 @@ func (s *Simulator) advance(to int64, eb energy.Breakdown, phase *int64) {
 }
 
 // checkPower triggers the JIT checkpoint + outage + restore sequence
-// when the capacitor has discharged to the design's Vbackup.
+// when the capacitor has discharged to the design's Vbackup, or when
+// an installed fault plan forces a crash at this boundary.
 func (s *Simulator) checkPower() {
+	if s.cfg.FaultPlan != nil && s.cfg.FaultPlan.ShouldCrash(s.res.Instructions, s.now) {
+		s.powerFail(true)
+		return
+	}
 	if s.cfg.Trace == nil {
 		return
 	}
@@ -235,50 +260,65 @@ func (s *Simulator) checkPower() {
 	if s.cap.Voltage() >= vb {
 		return
 	}
-	s.powerFail(vb)
+	s.powerFail(false)
 }
 
-func (s *Simulator) powerFail(vb float64) {
+// powerFail runs one outage: JIT checkpoint, power collapse, recharge,
+// restore. forced marks crashes injected by the fault plan; those also
+// work without a power trace (the capacitor is then left untouched —
+// the supply glitched, it did not drain).
+func (s *Simulator) powerFail(forced bool) {
 	s.res.Outages++
 	if s.res.Outages > s.cfg.MaxOutages {
-		s.abort(fmt.Errorf("exceeded %d outages; configuration cannot make progress", s.cfg.MaxOutages))
+		s.abort(fmt.Errorf("exceeded %d outages; configuration cannot make progress: %w",
+			s.cfg.MaxOutages, ErrNoProgress))
 	}
 	onDur := s.now - s.bootTime
 
 	// JIT checkpoint, powered by the reserved energy band.
+	if s.cfg.FaultPlan != nil {
+		s.cfg.FaultPlan.CheckpointStart(s.now, forced)
+	}
+	s.inCheckpoint = true
 	done, eb := s.design.Checkpoint(s.now)
 	s.advance(done, eb, &s.res.CheckpointTime)
-	if s.cap.Voltage() < s.cfg.VMin-1e-9 {
-		s.abort(fmt.Errorf("checkpoint exhausted the reserve: V=%.3f < VMin=%.3f (design %s)",
-			s.cap.Voltage(), s.cfg.VMin, s.design.Name()))
+	s.inCheckpoint = false
+	if s.cfg.FaultPlan != nil {
+		s.cfg.FaultPlan.CheckpointEnd(s.now)
+	}
+	if s.cfg.Trace != nil && s.cap.Voltage() < s.cfg.VMin-1e-9 {
+		s.abort(fmt.Errorf("V=%.3f < VMin=%.3f after checkpoint (design %s): %w",
+			s.cap.Voltage(), s.cfg.VMin, s.design.Name(), ErrReserveExhausted))
 	}
 	if s.cfg.CheckInvariants {
 		if err := s.design.DurableEqual(s.golden); err != nil {
-			s.abort(fmt.Errorf("crash consistency violated at outage %d: %w", s.res.Outages, err))
+			s.abort(fmt.Errorf("outage %d (%v): %w", s.res.Outages, err, ErrCrashConsistency))
 		}
 	}
 
-	// Power collapse: below the operating threshold the dying
-	// regulator and monitor burn whatever reserve the checkpoint did
-	// not use — the reserved band is energy that could never be spent
-	// on computation (§1, §2.3.3). Recharge therefore restarts from
-	// VMin, and a design with a larger reserve wastes more per outage.
-	s.res.ReserveWasted += s.cap.EnergyAbove(s.cfg.VMin)
-	s.cap.SetVoltage(s.cfg.VMin)
+	if s.cfg.Trace != nil {
+		// Power collapse: below the operating threshold the dying
+		// regulator and monitor burn whatever reserve the checkpoint did
+		// not use — the reserved band is energy that could never be spent
+		// on computation (§1, §2.3.3). Recharge therefore restarts from
+		// VMin, and a design with a larger reserve wastes more per outage.
+		s.res.ReserveWasted += s.cap.EnergyAbove(s.cfg.VMin)
+		s.cap.SetVoltage(s.cfg.VMin)
 
-	// Power off: recharge to Von. The voltage threshold reflects the
-	// *current* reserve (it may have been adapted at this boot).
-	von := s.cfg.Von(s.cfg.Vbackup(s.design.ReserveEnergy()))
-	need := 0.5 * s.cfg.CapacitorF * (von*von - s.cap.Voltage()*s.cap.Voltage())
-	if need > 0 {
-		dt, ok := s.cfg.Trace.TimeToHarvest(s.now, need)
-		if !ok {
-			s.abort(fmt.Errorf("trace %s can never recharge %.3g J", s.cfg.Trace.Name, need))
+		// Power off: recharge to Von. The voltage threshold reflects the
+		// *current* reserve (it may have been adapted at this boot).
+		von := s.cfg.Von(s.cfg.Vbackup(s.design.ReserveEnergy()))
+		need := 0.5 * s.cfg.CapacitorF * (von*von - s.cap.Voltage()*s.cap.Voltage())
+		if need > 0 {
+			dt, ok := s.cfg.Trace.TimeToHarvest(s.now, need)
+			if !ok {
+				s.abort(fmt.Errorf("trace %s can never recharge %.3g J", s.cfg.Trace.Name, need))
+			}
+			s.res.OffTime += dt
+			s.now += dt
 		}
-		s.res.OffTime += dt
-		s.now += dt
+		s.cap.SetVoltage(von)
 	}
-	s.cap.SetVoltage(von)
 
 	// Boot: restore state, then let the runtime system adapt.
 	done, eb = s.design.Restore(s.now)
@@ -298,8 +338,8 @@ func (s *Simulator) powerFail(vb float64) {
 	if s.res.Instructions == s.instrAtBoot {
 		s.noProgress++
 		if s.noProgress >= 8 {
-			s.abort(fmt.Errorf("no forward progress across %d consecutive outages (design %s, trace %s)",
-				s.noProgress, s.design.Name(), s.cfg.Trace.Name))
+			s.abort(fmt.Errorf("%d consecutive outages retired no instructions (design %s, trace %s): %w",
+				s.noProgress, s.design.Name(), s.res.Trace, ErrNoProgress))
 		}
 	} else {
 		s.noProgress = 0

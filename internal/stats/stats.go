@@ -53,6 +53,7 @@ type DesignExtra struct {
 	DirtyPeak       int    // maximum simultaneous dirty lines observed
 	RedundantDQ     uint64 // redundant DirtyQueue insertions (§5.3)
 	StaleDQSkips    uint64 // stale DirtyQueue entries skipped (§5.4)
+	DroppedACKs     uint64 // write-back ACKs lost to fault injection
 }
 
 // Table renders labelled rows of float columns with a fixed layout.
@@ -172,6 +173,98 @@ func (t *Table) GmeanOver(column string, labels []string) float64 {
 		}
 	}
 	return Gmean(xs)
+}
+
+// TextTable renders labelled rows of string cells with the same fixed
+// layout as Table; used for pass/fail grids (the fault audit) where
+// cells are verdicts, not numbers.
+type TextTable struct {
+	Title   string
+	Columns []string
+	rows    []textRow
+}
+
+type textRow struct {
+	label string
+	cells []string
+}
+
+// NewTextTable creates a text table with the given column headers.
+func NewTextTable(title string, columns ...string) *TextTable {
+	return &TextTable{Title: title, Columns: columns}
+}
+
+// Add appends a row. The number of cells must match the columns.
+func (t *TextTable) Add(label string, cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: row %q has %d cells, want %d", label, len(cells), len(t.Columns)))
+	}
+	t.rows = append(t.rows, textRow{label, cells})
+}
+
+// Rows returns the number of data rows.
+func (t *TextTable) Rows() int { return len(t.rows) }
+
+// Cell returns the cell for (label, column); ok=false if absent.
+func (t *TextTable) Cell(label, column string) (string, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return "", false
+	}
+	for _, r := range t.rows {
+		if r.label == label {
+			return r.cells[ci], true
+		}
+	}
+	return "", false
+}
+
+// String renders the table with aligned columns.
+func (t *TextTable) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	labelW := len("design")
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	colW := 10
+	for _, c := range t.Columns {
+		if len(c)+2 > colW {
+			colW = len(c) + 2
+		}
+	}
+	for _, r := range t.rows {
+		for _, cell := range r.cells {
+			if len(cell)+2 > colW {
+				colW = len(cell) + 2
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelW+2, "design")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", colW, c)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", labelW+2+colW*len(t.Columns)))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", labelW+2, r.label)
+		for _, cell := range r.cells {
+			fmt.Fprintf(&b, "%*s", colW, cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // SortedKeys returns the sorted keys of a string-keyed map (stable
