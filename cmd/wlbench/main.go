@@ -7,9 +7,11 @@
 //	wlbench -list                       # show available experiments
 //	wlbench -experiment fig5 -workloads sha,qsort -scale 2
 //	wlbench -experiment fig4 -out dir   # also save the output to dir/fig4.txt
+//	wlbench -json results.json          # machine-readable benchmark suite
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +21,8 @@ import (
 	"time"
 
 	"wlcache/internal/expt"
+	"wlcache/internal/power"
+	"wlcache/internal/sim"
 )
 
 func main() {
@@ -40,9 +44,18 @@ func run(args []string, stdout io.Writer) error {
 		parallel   = fs.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
 		check      = fs.Bool("check", false, "enable expensive correctness invariants")
 		outDir     = fs.String("out", "", "also write each experiment's output to <out>/<id>.txt")
+		jsonOut    = fs.String("json", "", "run the benchmark suite and write JSON results to this file ('-' = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *jsonOut != "" {
+		wls := benchWorkloads
+		if *workloads != "" {
+			wls = strings.Split(*workloads, ",")
+		}
+		return runJSONBench(*jsonOut, wls, *scale, stdout)
 	}
 
 	if *list || *experiment == "" {
@@ -92,5 +105,87 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
+	return nil
+}
+
+// benchSchema identifies the -json output format.
+const benchSchema = "wlbench/v1"
+
+// benchWorkloads is the default -json suite: one short benchmark per
+// MiBench category the paper leans on.
+var benchWorkloads = []string{"adpcmencode", "sha", "qsort", "susanedges"}
+
+// benchResult is one (design, workload) cell of the -json suite:
+// host-side throughput plus the simulated outcomes regression tooling
+// tracks (dirty-line stats, stalls, write-backs).
+type benchResult struct {
+	Design   string `json:"design"`
+	Workload string `json:"workload"`
+	Trace    string `json:"trace"`
+
+	HostNs  int64   `json:"host_ns"`   // wall-clock for the whole run
+	NsPerOp float64 `json:"ns_per_op"` // host ns per simulated instruction
+	ExecPS  int64   `json:"sim_exec_ps"`
+
+	Instructions uint64  `json:"instructions"`
+	Outages      uint64  `json:"outages"`
+	Stalls       uint64  `json:"stalls"`
+	Writebacks   uint64  `json:"writebacks"`
+	DirtyPeak    int     `json:"dirty_peak"`
+	AvgDirty     float64 `json:"avg_dirty_per_ckpt"`
+	Checksum     uint32  `json:"checksum"`
+}
+
+// benchFile is the -json document.
+type benchFile struct {
+	Schema  string        `json:"schema"`
+	Results []benchResult `json:"results"`
+}
+
+// runJSONBench runs the machine-readable benchmark suite: the paper's
+// figure designs over the given workloads under tr1.
+func runJSONBench(path string, wls []string, scale int, stdout io.Writer) error {
+	doc := benchFile{Schema: benchSchema}
+	for _, kind := range expt.FigureKinds() {
+		for _, wl := range wls {
+			start := time.Now()
+			res, err := expt.Run(kind, expt.Options{}, strings.TrimSpace(wl), scale, power.Trace1, sim.DefaultConfig())
+			if err != nil {
+				return fmt.Errorf("bench %s/%s: %w", kind, wl, err)
+			}
+			host := time.Since(start).Nanoseconds()
+			r := benchResult{
+				Design:       string(kind),
+				Workload:     res.Workload,
+				Trace:        res.Trace,
+				HostNs:       host,
+				ExecPS:       res.ExecTime,
+				Instructions: res.Instructions,
+				Outages:      res.Outages,
+				Stalls:       res.Extra.Stalls,
+				Writebacks:   res.Extra.Writebacks,
+				DirtyPeak:    res.Extra.DirtyPeak,
+				AvgDirty:     res.AvgDirtyAtCheckpoint(),
+				Checksum:     res.Checksum,
+			}
+			if res.Instructions > 0 {
+				r.NsPerOp = float64(host) / float64(res.Instructions)
+			}
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err := stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d results to %s\n", len(doc.Results), path)
 	return nil
 }

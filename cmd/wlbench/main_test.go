@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -63,5 +64,71 @@ func TestRunExperimentOnSubset(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "sha") || !strings.Contains(b.String(), "gmean") {
 		t.Fatalf("fig7 output incomplete:\n%s", b.String())
+	}
+}
+
+// The -json suite must emit a schema-tagged document with one result
+// per (figure design, workload), carrying throughput and dirty-line
+// stats.
+func TestJSONBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var b strings.Builder
+	if err := run([]string{"-json", path, "-workloads", "sha"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Results []struct {
+			Design    string  `json:"design"`
+			Workload  string  `json:"workload"`
+			HostNs    int64   `json:"host_ns"`
+			NsPerOp   float64 `json:"ns_per_op"`
+			ExecPS    int64   `json:"sim_exec_ps"`
+			DirtyPeak int     `json:"dirty_peak"`
+			Checksum  uint32  `json:"checksum"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bench JSON: %v", err)
+	}
+	if doc.Schema != "wlbench/v1" {
+		t.Errorf("schema %q", doc.Schema)
+	}
+	if len(doc.Results) != 4 {
+		t.Fatalf("got %d results, want 4 (figure designs x sha)", len(doc.Results))
+	}
+	var wl *struct {
+		Design    string  `json:"design"`
+		Workload  string  `json:"workload"`
+		HostNs    int64   `json:"host_ns"`
+		NsPerOp   float64 `json:"ns_per_op"`
+		ExecPS    int64   `json:"sim_exec_ps"`
+		DirtyPeak int     `json:"dirty_peak"`
+		Checksum  uint32  `json:"checksum"`
+	}
+	for i := range doc.Results {
+		r := &doc.Results[i]
+		if r.HostNs <= 0 || r.NsPerOp <= 0 || r.ExecPS <= 0 {
+			t.Errorf("%s/%s: non-positive timings %+v", r.Design, r.Workload, r)
+		}
+		if r.Design == "wl" {
+			wl = r
+		}
+		if r.Checksum != doc.Results[0].Checksum {
+			t.Errorf("checksum mismatch across designs: %+v", r)
+		}
+	}
+	if wl == nil {
+		t.Fatal("no wl design in results")
+	}
+	if wl.DirtyPeak <= 0 {
+		t.Errorf("wl dirty_peak = %d, want > 0", wl.DirtyPeak)
 	}
 }

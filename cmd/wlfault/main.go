@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -58,16 +59,34 @@ func run(args []string, stdout io.Writer) (int, error) {
 		for _, k := range expt.AllKinds() {
 			known[k] = true
 		}
-		m.Designs = nil
+		want := make(map[expt.Kind]bool)
 		for _, d := range strings.Split(*designs, ",") {
 			kind := expt.Kind(strings.TrimSpace(d))
 			if !known[kind] {
 				return 0, fmt.Errorf("unknown design kind %q (have %s)", kind, joinKinds(expt.AllKinds()))
 			}
-			m.Designs = append(m.Designs, kind)
+			want[kind] = true
+		}
+		// Canonical registry order, deduplicated: the audit table is
+		// identical no matter how -designs was spelled.
+		m.Designs = nil
+		for _, k := range expt.AllKinds() {
+			if want[k] {
+				m.Designs = append(m.Designs, k)
+			}
 		}
 	}
-	m.Workloads = strings.Split(*workloads, ",")
+	m.Workloads = nil
+	seen := make(map[string]bool)
+	for _, w := range strings.Split(*workloads, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" || seen[w] {
+			continue
+		}
+		seen[w] = true
+		m.Workloads = append(m.Workloads, w)
+	}
+	sort.Strings(m.Workloads)
 	m.Modes = nil
 	for _, s := range strings.Split(*modes, ",") {
 		mode := fault.Mode(strings.TrimSpace(s))

@@ -74,6 +74,40 @@ func rowOf(t *testing.T, out, prefix string) string {
 	return ""
 }
 
+// Permuting (and duplicating) the -designs and -workloads lists must
+// not change the audit table: designs render in registry order,
+// workloads sorted, both deduplicated.
+func TestMatrixOrderIsCanonical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	invoke := func(designs, workloads string) string {
+		var b strings.Builder
+		code, err := run([]string{
+			"-designs", designs,
+			"-workloads", workloads,
+			"-modes", "crash",
+			"-seeds", "1",
+			"-points", "1",
+		}, &b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != 0 {
+			t.Fatalf("exit code %d:\n%s", code, b.String())
+		}
+		return b.String()
+	}
+	a := invoke("wl,broken", "basicmath,adpcmencode")
+	c := invoke("broken,wl,broken", "adpcmencode,basicmath,adpcmencode")
+	if a != c {
+		t.Fatalf("audit output depends on flag order:\n--- a ---\n%s--- b ---\n%s", a, c)
+	}
+	if strings.Index(a, "broken") > strings.Index(a, "wl ") {
+		t.Fatalf("designs not in registry order (broken is registered before the wl variants):\n%s", a)
+	}
+}
+
 func TestUnknownDesignErrors(t *testing.T) {
 	var b strings.Builder
 	if _, err := run([]string{"-designs", "bogus"}, &b); err == nil {

@@ -1,0 +1,288 @@
+// Command wlobs records instrumented simulation runs and compares
+// their metric manifests across code versions.
+//
+// `record` runs one workload on one or more designs with the
+// observability layer enabled (internal/obs), prints a per-run
+// summary, and writes a JSONL manifest plus one Chrome trace_event
+// JSON file per design (loadable in chrome://tracing or Perfetto).
+// `diff` compares two manifests cell by cell and flags metric changes
+// beyond a threshold in the bad direction; its exit status is non-zero
+// when any regression is found. `summary` re-renders a saved manifest.
+//
+// Usage:
+//
+//	wlobs record -designs wl,wl-dyn -workload sha -trace tr1 -out obs-out
+//	wlobs record -fault tornckpt -crashes 3 -workload qsort
+//	wlobs diff -threshold 0.05 old/manifest.jsonl new/manifest.jsonl
+//	wlobs summary obs-out/manifest.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wlcache/internal/expt"
+	"wlcache/internal/fault"
+	"wlcache/internal/isa"
+	"wlcache/internal/obs"
+	"wlcache/internal/power"
+	"wlcache/internal/sim"
+	"wlcache/internal/workload"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlobs:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// run executes the CLI; factored out of main for testing. The int is
+// the process exit code for a completed command.
+func run(args []string, stdout io.Writer) (int, error) {
+	if len(args) == 0 {
+		return 0, fmt.Errorf("usage: wlobs record|diff|summary [flags]; see `wlobs <cmd> -h`")
+	}
+	switch args[0] {
+	case "record":
+		return runRecord(args[1:], stdout)
+	case "diff":
+		return runDiff(args[1:], stdout)
+	case "summary":
+		return runSummary(args[1:], stdout)
+	}
+	return 0, fmt.Errorf("unknown subcommand %q (want record, diff or summary)", args[0])
+}
+
+// crashSpacing is the instruction distance between forced crashes when
+// `record -fault` schedules them (golden-run-free, so deterministic
+// without knowing the workload's length).
+const crashSpacing = 5_000
+
+func runRecord(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("wlobs record", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		designs   = fs.String("designs", "wl", "comma-separated design kinds to record")
+		wl        = fs.String("workload", "sha", "benchmark name")
+		trace     = fs.String("trace", "tr1", "power source: none, tr1, tr2, tr3, solar, thermal")
+		scale     = fs.Int("scale", 1, "input-size multiplier")
+		events    = fs.Int("events", 0, "event ring capacity (0 = default)")
+		out       = fs.String("out", "wlobs-out", "output directory for manifest.jsonl and trace JSON")
+		check     = fs.Bool("check", true, "verify crash-consistency invariants")
+		faultMode = fs.String("fault", "", "also inject faults: crash, tornwb, tornckpt, ackloss")
+		crashes   = fs.Int("crashes", 3, "forced crashes to schedule with -fault")
+		seed      = fs.Uint64("seed", 1, "fault-injection seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	w, ok := workload.ByName(*wl)
+	if !ok {
+		return 0, fmt.Errorf("unknown workload %q", *wl)
+	}
+	var mode fault.Mode
+	if *faultMode != "" {
+		mode = fault.Mode(*faultMode)
+		if !mode.Valid() {
+			return 0, fmt.Errorf("unknown fault mode %q", *faultMode)
+		}
+		// Injected faults corrupt durable state by design; the invariant
+		// checker would (correctly) abort the run. Recording wants the
+		// timeline, so checks default off unless explicitly requested.
+		checkSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "check" {
+				checkSet = true
+			}
+		})
+		if !checkSet {
+			*check = false
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return 0, err
+	}
+	mf, err := os.Create(filepath.Join(*out, "manifest.jsonl"))
+	if err != nil {
+		return 0, err
+	}
+	defer mf.Close()
+
+	for _, d := range strings.Split(*designs, ",") {
+		kind := expt.Kind(strings.TrimSpace(d))
+		rec := obs.NewRecorder(obs.RunMeta{Design: string(kind), Workload: w.Name, Trace: *trace}, *events)
+
+		cfg := sim.DefaultConfig()
+		cfg.CheckInvariants = *check
+		cfg.Obs = rec
+		cfg.Trace = power.Get(power.Source(*trace))
+		design, nvm := expt.NewDesign(kind, expt.Options{})
+		if mode != "" {
+			inj := fault.NewInjector(mode, *seed)
+			inj.Obs = rec
+			for i := 1; i <= *crashes; i++ {
+				inj.CrashAtInstrs(uint64(i) * crashSpacing)
+			}
+			cfg.FaultPlan = inj
+			inj.Arm(nvm, design)
+		}
+		s, err := sim.New(cfg, design, nvm)
+		if err != nil {
+			return 0, fmt.Errorf("design %s: %w", kind, err)
+		}
+		res, err := s.Run(w.Name, func(m isa.Machine) uint32 { return w.Run(m, *scale) })
+		if err != nil {
+			return 0, fmt.Errorf("design %s: %w", kind, err)
+		}
+		foldResult(rec.Registry(), res)
+
+		m := rec.Manifest()
+		if err := obs.AppendManifest(mf, m); err != nil {
+			return 0, err
+		}
+		tname := filepath.Join(*out, fmt.Sprintf("trace-%s-%s-%s.json", kind, w.Name, *trace))
+		tf, err := os.Create(tname)
+		if err != nil {
+			return 0, err
+		}
+		if err := rec.Trace().WriteChrome(tf, rec.Meta); err != nil {
+			tf.Close()
+			return 0, err
+		}
+		if err := tf.Close(); err != nil {
+			return 0, err
+		}
+		fmt.Fprint(stdout, obs.Summarize(m))
+		fmt.Fprintf(stdout, "wrote %s\n\n", tname)
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", filepath.Join(*out, "manifest.jsonl"))
+	return 0, nil
+}
+
+// foldResult folds the run-level sim.Result into the registry as
+// gauges, so `wlobs diff` compares end-to-end outcomes (execution
+// time, energy, traffic) alongside the event-derived distributions.
+func foldResult(reg *obs.Registry, res sim.Result) {
+	reg.Gauge("result.exec_ps", obs.DirLower).Set(float64(res.ExecTime))
+	reg.Gauge("result.on_ps", obs.DirLower).Set(float64(res.OnTime))
+	reg.Gauge("result.ckpt_ps", obs.DirLower).Set(float64(res.CheckpointTime))
+	reg.Gauge("result.off_ps", obs.DirLower).Set(float64(res.OffTime))
+	reg.Gauge("result.restore_ps", obs.DirLower).Set(float64(res.RestoreTime))
+	reg.Gauge("result.instructions", obs.DirNone).Set(float64(res.Instructions))
+	reg.Gauge("result.outages", obs.DirLower).Set(float64(res.Outages))
+	reg.Gauge("result.energy_pj", obs.DirLower).Set(res.Energy.Total() * 1e12)
+	reg.Gauge("result.nvm_write_bytes", obs.DirLower).Set(float64(res.NVMTraffic.WriteBytes()))
+	reg.Gauge("result.reserve_wasted_pj", obs.DirLower).Set(res.ReserveWasted * 1e12)
+	reg.Gauge("result.checksum", obs.DirNone).Set(float64(res.Checksum))
+}
+
+func runDiff(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("wlobs diff", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		threshold = fs.Float64("threshold", 0.05, "relative change flagged as a regression")
+		all       = fs.Bool("all", false, "also print non-regression changes beyond the threshold")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() != 2 {
+		return 0, fmt.Errorf("usage: wlobs diff [-threshold f] [-all] OLD.jsonl NEW.jsonl")
+	}
+	oldMs, err := readManifestFile(fs.Arg(0))
+	if err != nil {
+		return 0, err
+	}
+	newMs, err := readManifestFile(fs.Arg(1))
+	if err != nil {
+		return 0, err
+	}
+	byKey := func(ms []obs.Manifest) map[string]obs.Manifest {
+		out := make(map[string]obs.Manifest, len(ms))
+		for _, m := range ms {
+			out[m.Key()] = m
+		}
+		return out
+	}
+	on, nn := byKey(oldMs), byKey(newMs)
+
+	regressions, cells := 0, 0
+	for _, om := range oldMs {
+		nm, ok := nn[om.Key()]
+		if !ok {
+			fmt.Fprintf(stdout, "== %s: only in %s\n", om.Key(), fs.Arg(0))
+			continue
+		}
+		cells++
+		rep := obs.DiffManifests(om, nm, *threshold)
+		deltas := rep.Regressions()
+		if *all {
+			deltas = rep.Changed(*threshold)
+		}
+		fmt.Fprintf(stdout, "== %s (%d metrics compared)\n", rep.Key, len(rep.Deltas))
+		for _, d := range deltas {
+			fmt.Fprintf(stdout, "  %s\n", d)
+		}
+		for _, k := range rep.OnlyOld {
+			fmt.Fprintf(stdout, "  only in old: %s\n", k)
+		}
+		for _, k := range rep.OnlyNew {
+			fmt.Fprintf(stdout, "  only in new: %s\n", k)
+		}
+		regressions += len(rep.Regressions())
+	}
+	for _, nm := range newMs {
+		if _, ok := on[nm.Key()]; !ok {
+			fmt.Fprintf(stdout, "== %s: only in %s\n", nm.Key(), fs.Arg(1))
+		}
+	}
+	fmt.Fprintf(stdout, "wlobs diff: %d regression(s) across %d cell(s) at threshold %.0f%%\n",
+		regressions, cells, 100**threshold)
+	if regressions > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func runSummary(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("wlobs summary", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() != 1 {
+		return 0, fmt.Errorf("usage: wlobs summary MANIFEST.jsonl")
+	}
+	ms, err := readManifestFile(fs.Arg(0))
+	if err != nil {
+		return 0, err
+	}
+	for _, m := range ms {
+		fmt.Fprint(stdout, obs.Summarize(m))
+		fmt.Fprintln(stdout)
+	}
+	return 0, nil
+}
+
+func readManifestFile(path string) ([]obs.Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ms, err := obs.ReadManifests(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%s: no manifests", path)
+	}
+	return ms, nil
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wlcache/internal/obs"
+)
+
+// TestRecordDiffRoundTrip drives the full CLI: record one instrumented
+// run, check the artifacts, self-diff to zero regressions, then doctor
+// the manifest and watch the diff fail.
+func TestRecordDiffRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	code, err := run([]string{"record", "-designs", "wl", "-workload", "sha", "-trace", "tr1", "-out", dir}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("record: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "DirtyQueue occupancy") {
+		t.Errorf("record summary lacks the occupancy chart:\n%s", out.String())
+	}
+
+	manifest := filepath.Join(dir, "manifest.jsonl")
+	f, err := os.Open(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := obs.ReadManifests(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("got %d manifests, want 1", len(ms))
+	}
+	for _, want := range []string{"dq.occupancy", "wb.latency_ps", "ckpt.cost_ps"} {
+		found := false
+		for _, h := range ms[0].Histograms {
+			if h.Name == want && h.Count > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("manifest lacks populated histogram %q", want)
+		}
+	}
+
+	// The Chrome export must be plain loadable JSON with events.
+	raw, err := os.ReadFile(filepath.Join(dir, "trace-wl-sha-tr1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace JSON has no events")
+	}
+
+	// Self-diff: identical manifests must report zero regressions.
+	out.Reset()
+	code, err = run([]string{"diff", manifest, manifest}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("self-diff: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 regression(s)") {
+		t.Errorf("self-diff output:\n%s", out.String())
+	}
+
+	// Doctor a direction-lower counter upward: the diff must flag it.
+	doctored := ms[0]
+	doctored.Counters = append([]obs.CounterSnap(nil), doctored.Counters...)
+	bumped := false
+	for i, c := range doctored.Counters {
+		if c.Name == "core.stalls" {
+			doctored.Counters[i].Value = c.Value*2 + 100
+			bumped = true
+		}
+	}
+	if !bumped {
+		t.Fatal("manifest lacks core.stalls")
+	}
+	worse := filepath.Join(dir, "worse.jsonl")
+	wf, err := os.Create(worse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.AppendManifest(wf, doctored); err != nil {
+		t.Fatal(err)
+	}
+	wf.Close()
+
+	out.Reset()
+	code, err = run([]string{"diff", manifest, worse}, &out)
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if code != 1 {
+		t.Errorf("doctored diff: code=%d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "core.stalls") {
+		t.Errorf("doctored diff output:\n%s", out.String())
+	}
+
+	// summary re-renders the saved manifest.
+	out.Reset()
+	code, err = run([]string{"summary", manifest}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("summary: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "wl / sha / tr1") {
+		t.Errorf("summary output:\n%s", out.String())
+	}
+}
+
+// TestRecordWithFaultInjection checks the fault-injection path records
+// forced checkpoints and torn writes in the manifest.
+func TestRecordWithFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	code, err := run([]string{"record", "-designs", "wl", "-workload", "qsort", "-trace", "none",
+		"-fault", "tornckpt", "-crashes", "2", "-out", dir}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("record: code=%d err=%v\n%s", code, err, out.String())
+	}
+	f, err := os.Open(filepath.Join(dir, "manifest.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := obs.ReadManifests(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := func(name string) uint64 {
+		for _, c := range ms[0].Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		t.Fatalf("manifest lacks counter %q", name)
+		return 0
+	}
+	if counter("ckpt.forced") == 0 {
+		t.Error("no forced checkpoints recorded")
+	}
+	if counter("fault.torn_writes") == 0 {
+		t.Error("no torn writes recorded")
+	}
+}
+
+// TestBadUsage exercises the argument errors.
+func TestBadUsage(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run(nil, &out); err == nil {
+		t.Error("no args: want error")
+	}
+	if _, err := run([]string{"bogus"}, &out); err == nil {
+		t.Error("unknown subcommand: want error")
+	}
+	if _, err := run([]string{"diff", "one-file-only"}, &out); err == nil {
+		t.Error("diff with one file: want error")
+	}
+	if _, err := run([]string{"record", "-workload", "nope"}, &out); err == nil {
+		t.Error("unknown workload: want error")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"wlcache/internal/energy"
 	"wlcache/internal/isa"
 	"wlcache/internal/mem"
+	"wlcache/internal/obs"
 	"wlcache/internal/stats"
 )
 
@@ -62,9 +63,10 @@ func DefaultConfig() Config {
 
 // inflightWB is an asynchronous write-back awaiting its ACK.
 type inflightWB struct {
-	id   uint64 // DirtyQueue entry id to remove on ACK
-	addr uint32
-	done int64 // ACK time
+	id     uint64 // DirtyQueue entry id to remove on ACK
+	addr   uint32
+	issued int64 // issue time (write-back latency accounting)
+	done   int64 // ACK time
 }
 
 // WLCache is the Write-Light Cache design: a volatile SRAM write-back
@@ -90,9 +92,14 @@ type WLCache struct {
 	probe func(newReserve float64) bool
 	// ackFilter, when set, may drop write-back ACKs (fault injection).
 	ackFilter func(id uint64, addr uint32) bool
+	// rec, when set, records stalls, write-back issue/ACK, DirtyQueue
+	// occupancy and threshold adaptation (internal/obs). nil disables
+	// recording at the cost of one nil check per event site.
+	rec *obs.Recorder
 
-	extra   stats.DesignExtra
-	lineBuf []uint32
+	extra       stats.DesignExtra
+	lineBuf     []uint32
+	lastRestore int64 // time of the last Restore (timestamps OnBoot events)
 }
 
 // New builds a WL-Cache over the given NVM backend.
@@ -149,6 +156,13 @@ func (c *WLCache) Queue() *DirtyQueue { return c.dq }
 // BindEnergyProbe installs the residual-energy probe used by dynamic
 // adaptation; the simulator calls this when it owns the capacitor.
 func (c *WLCache) BindEnergyProbe(p func(newReserve float64) bool) { c.probe = p }
+
+// BindObserver installs the observability recorder; the simulator
+// calls this at construction when Config.Obs is set.
+func (c *WLCache) BindObserver(r *obs.Recorder) {
+	c.rec = r
+	c.rec.Thresholds(c.maxline, c.waterline)
+}
 
 // SetACKFilter installs a fault-injection hook on the asynchronous
 // write-back ACK path (§5.3 step 4): when f returns false the ACK is
@@ -231,6 +245,7 @@ func (c *WLCache) Access(now int64, op isa.Op, addr uint32, val uint32) (uint32,
 			c.extra.RedundantDQ++
 		}
 		c.dq.Push(lineAddr)
+		c.rec.DirtyDepth(t, c.dirty)
 	}
 	ln.Data[c.arr.WordIndex(addr)] = val
 	c.arr.Touch(ln)
@@ -259,6 +274,7 @@ func (c *WLCache) fill(t int64, lineAddr uint32, eb *energy.Breakdown) (*cache.L
 		t = done
 		victim.Dirty = false
 		c.dirty--
+		c.rec.DirtyDepth(t, c.dirty)
 		// The victim's DirtyQueue entry is left in place and lazily
 		// discarded later (§5.4).
 	}
@@ -278,7 +294,7 @@ func (c *WLCache) fill(t int64, lineAddr uint32, eb *energy.Breakdown) (*cache.L
 // can afford a larger reserve (§4).
 func (c *WLCache) ensureSlot(t int64, eb *energy.Breakdown) int64 {
 	for c.dirty >= c.maxline || c.dq.Full() {
-		if c.dirty >= c.maxline && !c.dq.Full() && c.tryDynamicRaise() {
+		if c.dirty >= c.maxline && !c.dq.Full() && c.tryDynamicRaise(t) {
 			continue
 		}
 		if len(c.inflight) == 0 {
@@ -294,6 +310,7 @@ func (c *WLCache) ensureSlot(t int64, eb *energy.Breakdown) int64 {
 		if wake > t {
 			c.extra.Stalls++
 			c.extra.StallTime += wake - t
+			c.rec.StoreStall(t, wake)
 			t = wake
 		}
 		c.drainACKs(t)
@@ -302,8 +319,9 @@ func (c *WLCache) ensureSlot(t int64, eb *energy.Breakdown) int64 {
 }
 
 // tryDynamicRaise opportunistically raises maxline by one when the
-// residual capacitor energy can afford JIT-checkpointing another line.
-func (c *WLCache) tryDynamicRaise() bool {
+// residual capacitor energy can afford JIT-checkpointing another line
+// at time t.
+func (c *WLCache) tryDynamicRaise(t int64) bool {
 	if c.cfg.Adaptive.Mode != AdaptDynamic || c.probe == nil {
 		return false
 	}
@@ -316,6 +334,7 @@ func (c *WLCache) tryDynamicRaise() bool {
 	c.maxline++
 	c.waterline = c.maxline - 1
 	c.extra.Reconfigs++
+	c.rec.Adapt(t, c.maxline-1, c.maxline, true)
 	return true
 }
 
@@ -340,8 +359,10 @@ func (c *WLCache) issueWriteback(t int64, eb *energy.Breakdown) bool {
 	c.dirty--
 	done, e := c.nvm.WriteLine(t, entry.addr, ln.Data) // step 2
 	eb.MemWrite += e
-	c.insertInflight(inflightWB{id: entry.id, addr: entry.addr, done: done})
+	c.insertInflight(inflightWB{id: entry.id, addr: entry.addr, issued: t, done: done})
 	c.extra.Writebacks++
+	c.rec.WritebackIssued(t, entry.addr)
+	c.rec.DirtyDepth(t, c.dirty)
 	return true
 }
 
@@ -429,9 +450,11 @@ func (c *WLCache) drainACKs(now int64) {
 		c.inflight = c.inflight[1:]
 		if c.ackFilter != nil && !c.ackFilter(w.id, w.addr) {
 			c.extra.DroppedACKs++
+			c.rec.WritebackDropped(w.done, w.addr)
 			continue
 		}
 		c.dq.RemoveID(w.id)
+		c.rec.WritebackACK(w.issued, w.done, w.addr)
 	}
 }
 
@@ -470,6 +493,7 @@ func (c *WLCache) Checkpoint(now int64) (int64, energy.Breakdown) {
 	}
 	c.dq.Clear()
 	c.inflight = c.inflight[:0]
+	c.rec.DirtyDepth(t, 0)
 	t += c.cfg.JIT.RegCheckpointTime
 	eb.Checkpoint += c.cfg.JIT.RegCheckpointEnergy
 	return t, eb
@@ -483,6 +507,8 @@ func (c *WLCache) Restore(now int64) (int64, energy.Breakdown) {
 	c.dq.Clear()
 	c.inflight = c.inflight[:0]
 	c.dirty = 0
+	c.lastRestore = now
+	c.rec.DirtyDepth(now, 0)
 	eb.Restore += c.cfg.JIT.RestoreEnergy
 	return now + c.cfg.JIT.RestoreTime, eb
 }
@@ -497,6 +523,7 @@ func (c *WLCache) OnBoot(lastOn, prevOn int64) {
 	newMax := c.adaptive.NextMaxline(lastOn, prevOn)
 	if newMax != c.maxline {
 		c.extra.Reconfigs++
+		c.rec.Adapt(c.lastRestore, c.maxline, newMax, false)
 	}
 	c.maxline = newMax
 	c.waterline = newMax - 1

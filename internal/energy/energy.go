@@ -48,13 +48,22 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.Leak += o.Leak
 }
 
+// VoltageSampler observes every capacitor voltage change. The
+// observability layer (internal/obs) installs a gauge here; nil (the
+// default) disables sampling, costing one nil check per draw — the
+// same contract as sim.FaultPlan and mem.LineWriteHook.
+type VoltageSampler interface {
+	Sample(v float64)
+}
+
 // Capacitor is the harvested-energy buffer. Voltage is the state
 // variable; energy moves in and out via Harvest and Draw.
 type Capacitor struct {
-	c    float64 // farads
-	v    float64 // volts
-	vMin float64
-	vMax float64
+	c       float64 // farads
+	v       float64 // volts
+	vMin    float64
+	vMax    float64
+	sampler VoltageSampler
 }
 
 // NewCapacitor returns a capacitor of c farads charged to vMax, with
@@ -78,9 +87,16 @@ func (c *Capacitor) VMin() float64 { return c.vMin }
 // VMax returns the voltage ceiling.
 func (c *Capacitor) VMax() float64 { return c.vMax }
 
+// SetSampler installs (or, with nil, removes) the voltage observer
+// consulted after every voltage change.
+func (c *Capacitor) SetSampler(s VoltageSampler) { c.sampler = s }
+
 // SetVoltage forces the voltage (initialization/boot).
 func (c *Capacitor) SetVoltage(v float64) {
 	c.v = math.Min(math.Max(v, 0), c.vMax)
+	if c.sampler != nil {
+		c.sampler.Sample(c.v)
+	}
 }
 
 // Energy returns the stored energy above 0 V.
@@ -105,9 +121,12 @@ func (c *Capacitor) Draw(e float64) {
 	rem := c.v*c.v - 2*e/c.c
 	if rem <= 0 {
 		c.v = 0
-		return
+	} else {
+		c.v = math.Sqrt(rem)
 	}
-	c.v = math.Sqrt(rem)
+	if c.sampler != nil {
+		c.sampler.Sample(c.v)
+	}
 }
 
 // DrawGuarded removes e joules like Draw, but returns an error
@@ -133,6 +152,9 @@ func (c *Capacitor) Harvest(e float64) {
 	}
 	v2 := c.v*c.v + 2*e/c.c
 	c.v = math.Min(math.Sqrt(v2), c.vMax)
+	if c.sampler != nil {
+		c.sampler.Sample(c.v)
+	}
 }
 
 // TimeToReach returns the seconds of harvesting at constant power p

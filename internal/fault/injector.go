@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"wlcache/internal/mem"
+	"wlcache/internal/obs"
 	"wlcache/internal/sim"
 )
 
@@ -30,6 +31,10 @@ type Injector struct {
 	Crashes     uint64 // forced power failures fired
 	TornWrites  uint64 // line writes torn (prefix or fully lost)
 	DroppedACKs uint64 // write-back ACKs suppressed
+
+	// Obs, when set, records every torn write in the run's event
+	// timeline (internal/obs). nil disables recording.
+	Obs *obs.Recorder
 
 	mode Mode
 	rng  uint64
@@ -108,7 +113,9 @@ func (in *Injector) Arm(nvm *mem.NVM, d sim.Design) {
 	case ModeTornWB, ModeTornCkpt:
 		nvm.SetLineWriteHook(in.onLineWrite)
 	case ModeAckLoss:
-		if f, ok := d.(interface{ SetACKFilter(func(id uint64, addr uint32) bool) }); ok {
+		if f, ok := d.(interface {
+			SetACKFilter(func(id uint64, addr uint32) bool)
+		}); ok {
 			f.SetACKFilter(in.onACK)
 		}
 	}
@@ -191,9 +198,12 @@ func (in *Injector) onLineWrite(w mem.LineWrite) int {
 			return n
 		case idx == in.tearAfter:
 			in.TornWrites++
-			return min(in.tearWords, n)
+			kept := min(in.tearWords, n)
+			in.Obs.FaultTornWrite(w.Now, w.Addr, kept, n)
+			return kept
 		default:
 			in.TornWrites++
+			in.Obs.FaultTornWrite(w.Now, w.Addr, 0, n)
 			return 0
 		}
 	}
@@ -240,6 +250,7 @@ func (in *Injector) tearInflight(tcrash int64) {
 		}
 		if k < n {
 			in.TornWrites++
+			in.Obs.FaultTornWrite(tcrash, r.addr, k, n)
 		}
 		for j := k; j < n; j++ {
 			img.Write(r.addr+uint32(4*j), r.pre[j])

@@ -73,6 +73,16 @@ type LineWrite struct {
 // write was attempted. A nil hook (the default) persists everything.
 type LineWriteHook func(w LineWrite) int
 
+// PortObserver watches the single NVM port's contention: every access
+// reports how long it waited for the port to free. The observability
+// layer (internal/obs) installs a recorder here; nil (the default)
+// disables observation at the cost of one nil check per access.
+type PortObserver interface {
+	// PortWait reports an access issued at now that waited `wait` ps
+	// (possibly 0) for the port; write distinguishes the write path.
+	PortWait(now, wait int64, write bool)
+}
+
 // NVM is the non-volatile main memory: a value store fronted by a
 // single-ported timing model. Accesses serialize on the port; an
 // access issued at time now while the port is busy starts when the
@@ -84,6 +94,7 @@ type NVM struct {
 	busyUntil int64
 	traffic   Traffic
 	lineHook  LineWriteHook
+	port      PortObserver
 }
 
 // NewNVM returns an NVM with the given parameters and an all-zero image.
@@ -118,6 +129,9 @@ func (n *NVM) WriteWord(now int64, addr uint32, v uint32) (done int64, energy fl
 	if n.busyUntil > start {
 		start = n.busyUntil
 	}
+	if n.port != nil {
+		n.port.PortWait(now, start-now, true)
+	}
 	n.busyUntil = start + n.params.WordWriteOccupancy
 	done = start + n.params.WordWriteLatency
 	n.image.Write(addr, v)
@@ -142,6 +156,9 @@ func (n *NVM) WriteLine(now int64, addr uint32, src []uint32) (done int64, energ
 	if n.busyUntil > start {
 		start = n.busyUntil
 	}
+	if n.port != nil {
+		n.port.PortWait(now, start-now, true)
+	}
 	done = start + n.params.LineWriteLatency
 	n.busyUntil = done
 	persist := len(src)
@@ -160,6 +177,10 @@ func (n *NVM) WriteLine(now int64, addr uint32, src []uint32) (done int64, energ
 // hook consulted on every full-line write.
 func (n *NVM) SetLineWriteHook(h LineWriteHook) { n.lineHook = h }
 
+// SetPortObserver installs (or, with nil, removes) the port-contention
+// observer consulted on every access.
+func (n *NVM) SetPortObserver(o PortObserver) { n.port = o }
+
 // BusyUntil returns the time at which the port frees.
 func (n *NVM) BusyUntil() int64 { return n.busyUntil }
 
@@ -167,6 +188,9 @@ func (n *NVM) occupy(now, latency int64) (done int64) {
 	start := now
 	if n.busyUntil > start {
 		start = n.busyUntil
+	}
+	if n.port != nil {
+		n.port.PortWait(now, start-now, false)
 	}
 	done = start + latency
 	n.busyUntil = done

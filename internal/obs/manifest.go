@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Schema identifies the manifest format this package writes.
+const Schema = "wlobs/v1"
+
+// CounterSnap is a counter in a manifest.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Dir   string `json:"dir"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is a gauge in a manifest.
+type GaugeSnap struct {
+	Name    string  `json:"name"`
+	Dir     string  `json:"dir"`
+	Samples uint64  `json:"samples"`
+	Last    float64 `json:"last"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+}
+
+// BucketSnap is one non-empty log2 bucket: Upper is the exclusive
+// upper bound (0 encodes the open tail bucket).
+type BucketSnap struct {
+	Upper float64 `json:"upper"`
+	Count uint64  `json:"count"`
+}
+
+// HistSnap is a histogram in a manifest.
+type HistSnap struct {
+	Name    string       `json:"name"`
+	Dir     string       `json:"dir"`
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// Mean returns sum/count (NaN when empty).
+func (h HistSnap) Mean() float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Manifest is one run's machine-readable record: metadata plus every
+// metric snapshot, written as one JSONL line.
+type Manifest struct {
+	Schema string `json:"schema"`
+	RunMeta
+	Events        uint64        `json:"events"`
+	EventsDropped uint64        `json:"events_dropped"`
+	Counters      []CounterSnap `json:"counters"`
+	Gauges        []GaugeSnap   `json:"gauges"`
+	Histograms    []HistSnap    `json:"histograms"`
+}
+
+// Manifest snapshots the recorder's metrics, with every section
+// sorted by name for stable diffs.
+func (r *Recorder) Manifest() Manifest {
+	m := Manifest{Schema: Schema}
+	if r == nil {
+		return m
+	}
+	m.RunMeta = r.Meta
+	m.Events = r.trace.Pushed()
+	m.EventsDropped = r.trace.Dropped()
+	for _, n := range r.reg.counterNames() {
+		c := r.reg.counters[n]
+		m.Counters = append(m.Counters, CounterSnap{Name: c.name, Dir: c.dir.String(), Value: c.n})
+	}
+	for _, n := range r.reg.gaugeNames() {
+		g := r.reg.gauges[n]
+		s := GaugeSnap{Name: g.name, Dir: g.dir.String(), Samples: g.n, Last: g.last, Min: g.min, Max: g.max}
+		if g.n > 0 {
+			s.Mean = g.sum / float64(g.n)
+		}
+		m.Gauges = append(m.Gauges, s)
+	}
+	for _, n := range r.reg.histNames() {
+		h := r.reg.hists[n]
+		s := HistSnap{Name: h.name, Dir: h.dir.String(), Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		for i, cnt := range h.buckets {
+			if cnt == 0 {
+				continue
+			}
+			up := BucketUpper(i)
+			if math.IsInf(up, 1) {
+				up = 0 // JSON has no Inf; 0 encodes the open tail
+			}
+			s.Buckets = append(s.Buckets, BucketSnap{Upper: up, Count: cnt})
+		}
+		m.Histograms = append(m.Histograms, s)
+	}
+	return m
+}
+
+// AppendManifest writes m as one JSONL line.
+func AppendManifest(w io.Writer, m Manifest) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(m)
+}
+
+// ReadManifests parses a JSONL manifest stream, skipping blank lines.
+func ReadManifests(r io.Reader) ([]Manifest, error) {
+	var out []Manifest
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m Manifest
+		if err := json.Unmarshal(line, &m); err != nil {
+			return nil, fmt.Errorf("obs: manifest line %d: %w", lineNo, err)
+		}
+		if m.Schema != Schema {
+			return nil, fmt.Errorf("obs: manifest line %d: schema %q, want %q", lineNo, m.Schema, Schema)
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Delta is one metric compared across two manifests.
+type Delta struct {
+	Metric string
+	Kind   string // "counter", "gauge" or "histogram"
+	Dir    Dir
+	Old    float64
+	New    float64
+	// Rel is the relative change (new-old)/old; +Inf when old is zero
+	// and new is not.
+	Rel float64
+	// Regression marks a change beyond the threshold in the metric's
+	// bad direction.
+	Regression bool
+}
+
+// String renders the delta as one report line.
+func (d Delta) String() string {
+	tag := "  "
+	switch {
+	case d.Regression:
+		tag = "REGRESSION"
+	case d.Dir == DirLower && d.Rel < 0, d.Dir == DirHigher && d.Rel > 0:
+		tag = "improved"
+	}
+	return fmt.Sprintf("%-10s %-9s %-22s %14s -> %-14s (%+.2f%%)",
+		tag, d.Kind, d.Metric, trimFloat(d.Old), trimFloat(d.New), 100*d.Rel)
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// DiffReport compares one run cell across two manifests.
+type DiffReport struct {
+	Key    string
+	Deltas []Delta
+	// OnlyOld and OnlyNew list metrics present on one side only.
+	OnlyOld []string
+	OnlyNew []string
+}
+
+// Regressions returns the deltas flagged as regressions.
+func (r DiffReport) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Changed returns the deltas whose relative change exceeds the given
+// threshold in either direction (reporting aid).
+func (r DiffReport) Changed(threshold float64) []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if math.Abs(d.Rel) > threshold || d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DiffManifests compares every metric present in both manifests.
+// Counters compare values, gauges and histograms compare means; a
+// change beyond threshold (relative) in a metric's bad direction is a
+// regression. Metrics with direction "none" never regress.
+func DiffManifests(old, new Manifest, threshold float64) DiffReport {
+	rep := DiffReport{Key: old.Key()}
+
+	collect := func(m Manifest) map[string]side {
+		out := map[string]side{}
+		for _, c := range m.Counters {
+			out["counter/"+c.Name] = side{"counter", dirFrom(c.Dir), float64(c.Value), true}
+		}
+		for _, g := range m.Gauges {
+			out["gauge/"+g.Name] = side{"gauge", dirFrom(g.Dir), g.Mean, g.Samples > 0}
+		}
+		for _, h := range m.Histograms {
+			v := 0.0
+			if h.Count > 0 {
+				v = h.Sum / float64(h.Count)
+			}
+			out["histogram/"+h.Name] = side{"histogram", dirFrom(h.Dir), v, h.Count > 0}
+		}
+		return out
+	}
+	a, b := collect(old), collect(new)
+
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		av := a[k]
+		bv, ok := b[k]
+		if !ok {
+			rep.OnlyOld = append(rep.OnlyOld, k)
+			continue
+		}
+		if !av.ok && !bv.ok {
+			continue // empty on both sides
+		}
+		d := Delta{Metric: av.name(k), Kind: av.kind, Dir: av.dir, Old: av.v, New: bv.v}
+		switch {
+		case av.v == bv.v:
+			d.Rel = 0
+		case av.v == 0:
+			d.Rel = math.Inf(sign(bv.v))
+		default:
+			d.Rel = (bv.v - av.v) / math.Abs(av.v)
+		}
+		switch av.dir {
+		case DirLower:
+			d.Regression = d.Rel > threshold
+		case DirHigher:
+			d.Regression = d.Rel < -threshold
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	bKeys := make([]string, 0, len(b))
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			bKeys = append(bKeys, k)
+		}
+	}
+	sort.Strings(bKeys)
+	rep.OnlyNew = bKeys
+	return rep
+}
+
+// side is one metric's value on one side of a diff.
+type side struct {
+	kind string
+	dir  Dir
+	v    float64
+	ok   bool // value meaningful (non-empty)
+}
+
+// name strips the kind prefix off a collected key.
+func (s side) name(key string) string {
+	return key[len(s.kind)+1:]
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind identifies one typed trace event. Events carry only numeric
+// payloads (A, B, F) so pushing one never allocates; the meaning of
+// the payload fields is per-kind and resolved at export time.
+type Kind uint8
+
+// The event taxonomy (DESIGN.md §9).
+const (
+	// KStall: a store stalled at the maxline bound. TS..TS+Dur is the
+	// stall window.
+	KStall Kind = iota + 1
+	// KWBIssue: an asynchronous write-back was issued. A = line addr.
+	KWBIssue
+	// KWBAck: a write-back ACK arrived. TS is the issue time, Dur the
+	// NVM latency (ACK - issue), A the line addr.
+	KWBAck
+	// KWBDrop: a write-back ACK was dropped (fault injection). A =
+	// line addr.
+	KWBDrop
+	// KCkpt: one JIT checkpoint. TS..TS+Dur is the checkpoint window,
+	// A = 1 when forced by a fault plan, B = dirty lines flushed (-1
+	// when the design does not report them), F = energy in pJ.
+	KCkpt
+	// KPowerFail: the voltage monitor (or a fault plan, A = 1) fired.
+	// F is the capacitor voltage.
+	KPowerFail
+	// KOff: the recharge window between power collapse and reboot.
+	KOff
+	// KRestore: the post-outage restore window. F = energy in pJ.
+	KRestore
+	// KAdapt: a maxline reconfiguration. A = old maxline, B = new,
+	// F = 1 for a dynamic (mid-execution) raise, 0 for a boot-time
+	// adaptation.
+	KAdapt
+	// KDirty: DirtyQueue occupancy changed. A = dirty lines now.
+	KDirty
+	// KVolt: a capacitor voltage mark at an outage boundary. F = V.
+	KVolt
+	// KTorn: fault injection tore an NVM line write. A = line addr,
+	// B = words persisted out of F total words.
+	KTorn
+)
+
+// kindMeta maps a Kind to its Chrome trace_event rendering: the event
+// name, the phase ("X" complete, "i" instant, "C" counter) and the
+// track (tid) it lands on.
+var kindMeta = [...]struct {
+	name string
+	ph   string
+	tid  int
+}{
+	KStall:     {"store-stall", "X", tidCore},
+	KWBIssue:   {"wb-issue", "i", tidWB},
+	KWBAck:     {"writeback", "X", tidWB},
+	KWBDrop:    {"wb-ack-dropped", "i", tidWB},
+	KCkpt:      {"checkpoint", "X", tidPower},
+	KPowerFail: {"power-failure", "i", tidPower},
+	KOff:       {"off", "X", tidPower},
+	KRestore:   {"restore", "X", tidPower},
+	KAdapt:     {"adapt", "i", tidCore},
+	KDirty:     {"dirty-lines", "C", tidCore},
+	KVolt:      {"voltage", "C", tidPower},
+	KTorn:      {"torn-write", "i", tidFault},
+}
+
+// The timeline tracks of the Chrome export.
+const (
+	tidCore = iota + 1
+	tidWB
+	tidPower
+	tidFault
+)
+
+var tidNames = map[int]string{
+	tidCore:  "core",
+	tidWB:    "writeback",
+	tidPower: "power",
+	tidFault: "fault",
+}
+
+// Event is one trace record. TS and Dur are simulated picoseconds.
+type Event struct {
+	TS   int64
+	Dur  int64
+	Kind Kind
+	A    int64
+	B    int64
+	F    float64
+}
+
+// Trace is a fixed-capacity ring buffer of events: pushing past the
+// capacity overwrites the oldest record, so a long run keeps its most
+// recent window and the export stays bounded.
+type Trace struct {
+	buf    []Event
+	next   int
+	pushed uint64
+}
+
+// DefaultEventCap is the ring capacity NewRecorder uses when none is
+// given: 64 Ki events (~3 MB).
+const DefaultEventCap = 1 << 16
+
+// NewTrace returns a ring of the given capacity (DefaultEventCap when
+// capacity <= 0).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &Trace{buf: make([]Event, 0, capacity)}
+}
+
+// Push appends one event, overwriting the oldest past capacity.
+// Nil-safe: a nil trace drops the event.
+func (t *Trace) Push(e Event) {
+	if t == nil {
+		return
+	}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+		t.next = (t.next + 1) % len(t.buf)
+	}
+	t.pushed++
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Pushed returns the total number of events ever pushed.
+func (t *Trace) Pushed() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.pushed
+}
+
+// Dropped returns how many events the ring overwrote.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.pushed - uint64(len(t.buf))
+}
+
+// Events returns the retained events in push order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// chromeEvent is one trace_event record in Chrome's JSON array format
+// (chrome://tracing, Perfetto). Timestamps are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const psPerUS = 1e6
+
+// WriteChrome exports the retained events as a Chrome trace_event
+// JSON object. meta labels the process so multiple runs can be merged
+// into one timeline.
+func (t *Trace) WriteChrome(w io.Writer, meta RunMeta) error {
+	evs := t.Events()
+	out := make([]chromeEvent, 0, len(evs)+1+len(tidNames))
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": fmt.Sprintf("%s / %s / %s", meta.Design, meta.Workload, meta.Trace)},
+	})
+	for tid, name := range tidNames {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, e := range evs {
+		if int(e.Kind) >= len(kindMeta) || kindMeta[e.Kind].name == "" {
+			continue
+		}
+		km := kindMeta[e.Kind]
+		ce := chromeEvent{
+			Name: km.name, Cat: "wlcache", Ph: km.ph, PID: 1, TID: km.tid,
+			TS: float64(e.TS) / psPerUS,
+		}
+		if km.ph == "X" {
+			ce.Dur = float64(e.Dur) / psPerUS
+		}
+		ce.Args = chromeArgs(e)
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ms",
+		"traceEvents":     out,
+	})
+}
+
+// chromeArgs renders the per-kind payload fields.
+func chromeArgs(e Event) map[string]any {
+	switch e.Kind {
+	case KWBIssue, KWBAck, KWBDrop:
+		return map[string]any{"addr": fmt.Sprintf("%#x", uint32(e.A))}
+	case KCkpt:
+		return map[string]any{"forced": e.A == 1, "lines": e.B, "energy_pj": e.F}
+	case KPowerFail:
+		return map[string]any{"forced": e.A == 1, "voltage_v": e.F}
+	case KRestore:
+		return map[string]any{"energy_pj": e.F}
+	case KAdapt:
+		return map[string]any{"from": e.A, "to": e.B, "dynamic": e.F == 1}
+	case KDirty:
+		return map[string]any{"dirty": e.A}
+	case KVolt:
+		return map[string]any{"v": e.F}
+	case KTorn:
+		return map[string]any{"addr": fmt.Sprintf("%#x", uint32(e.A)), "kept": e.B, "of": e.F}
+	}
+	return nil
+}

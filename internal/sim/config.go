@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"wlcache/internal/energy"
+	"wlcache/internal/obs"
 	"wlcache/internal/power"
 )
 
@@ -63,6 +64,12 @@ type Config struct {
 	// and observes checkpoint windows (internal/fault). nil disables
 	// injection; forced crashes work with or without a power trace.
 	FaultPlan FaultPlan
+
+	// Obs optionally records the run's cycle-level event timeline and
+	// metrics (internal/obs). nil disables recording; every
+	// instrumentation site then costs one nil check. New wires the
+	// recorder into the capacitor, the NVM port and the design.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns the paper's default machine configuration.

@@ -4,6 +4,7 @@ import (
 	"wlcache/internal/energy"
 	"wlcache/internal/isa"
 	"wlcache/internal/mem"
+	"wlcache/internal/obs"
 	"wlcache/internal/stats"
 )
 
@@ -54,4 +55,12 @@ type ExtraStatser interface {
 // (WL-Cache dynamic adaptation).
 type EnergyProbeBinder interface {
 	BindEnergyProbe(func(newReserve float64) bool)
+}
+
+// ObserverBinder is implemented by designs that emit their own
+// observability events (store stalls, write-back issue/ACK, DirtyQueue
+// occupancy, threshold adaptation). The simulator binds Config.Obs at
+// construction when it is set.
+type ObserverBinder interface {
+	BindObserver(*obs.Recorder)
 }

@@ -61,6 +61,16 @@ func New(cfg Config, design Design, nvm *mem.NVM) (*Simulator, error) {
 	if binder, ok := design.(EnergyProbeBinder); ok {
 		binder.BindEnergyProbe(s.probeReserve)
 	}
+	// Observability wiring: one recorder reaches the capacitor (voltage
+	// gauge), the NVM port (contention histogram) and the design (its
+	// own event sites). All sites stay nil-checked when cfg.Obs is nil.
+	if cfg.Obs != nil {
+		s.cap.SetSampler(cfg.Obs.VoltageGauge())
+		nvm.SetPortObserver(cfg.Obs)
+		if binder, ok := design.(ObserverBinder); ok {
+			binder.BindObserver(cfg.Obs)
+		}
+	}
 	// Sanity: the initial reserve must be chargeable on this capacitor.
 	// Only traced runs care — with uninterrupted power Vbackup is never
 	// consulted, and even infeasible designs (eager-wb on the default
@@ -134,10 +144,12 @@ func (s *Simulator) Run(name string, program func(m isa.Machine) uint32) (res Re
 	if s.cfg.FaultPlan != nil {
 		s.cfg.FaultPlan.CheckpointStart(s.now, false)
 	}
-	_, _ = s.design.Checkpoint(s.now)
+	linesBefore := s.checkpointLines()
+	ckptDone, ckptEB := s.design.Checkpoint(s.now)
 	if s.cfg.FaultPlan != nil {
 		s.cfg.FaultPlan.CheckpointEnd(s.now)
 	}
+	s.cfg.Obs.CheckpointDone(s.now, ckptDone, false, ckptEB.Total(), s.linesDelta(linesBefore))
 	if s.cfg.CheckInvariants {
 		if derr := s.design.DurableEqual(s.golden); derr != nil {
 			return s.res, fmt.Errorf("final durability check failed (%v): %w", derr, ErrCrashConsistency)
@@ -274,11 +286,14 @@ func (s *Simulator) powerFail(forced bool) {
 			s.cfg.MaxOutages, ErrNoProgress))
 	}
 	onDur := s.now - s.bootTime
+	s.cfg.Obs.PowerFailure(s.now, s.cap.Voltage(), forced)
 
 	// JIT checkpoint, powered by the reserved energy band.
 	if s.cfg.FaultPlan != nil {
 		s.cfg.FaultPlan.CheckpointStart(s.now, forced)
 	}
+	ckptStart := s.now
+	linesBefore := s.checkpointLines()
 	s.inCheckpoint = true
 	done, eb := s.design.Checkpoint(s.now)
 	s.advance(done, eb, &s.res.CheckpointTime)
@@ -286,6 +301,7 @@ func (s *Simulator) powerFail(forced bool) {
 	if s.cfg.FaultPlan != nil {
 		s.cfg.FaultPlan.CheckpointEnd(s.now)
 	}
+	s.cfg.Obs.CheckpointDone(ckptStart, s.now, forced, eb.Total(), s.linesDelta(linesBefore))
 	if s.cfg.Trace != nil && s.cap.Voltage() < s.cfg.VMin-1e-9 {
 		s.abort(fmt.Errorf("V=%.3f < VMin=%.3f after checkpoint (design %s): %w",
 			s.cap.Voltage(), s.cfg.VMin, s.design.Name(), ErrReserveExhausted))
@@ -309,6 +325,7 @@ func (s *Simulator) powerFail(forced bool) {
 		// *current* reserve (it may have been adapted at this boot).
 		von := s.cfg.Von(s.cfg.Vbackup(s.design.ReserveEnergy()))
 		need := 0.5 * s.cfg.CapacitorF * (von*von - s.cap.Voltage()*s.cap.Voltage())
+		offStart := s.now
 		if need > 0 {
 			dt, ok := s.cfg.Trace.TimeToHarvest(s.now, need)
 			if !ok {
@@ -318,9 +335,12 @@ func (s *Simulator) powerFail(forced bool) {
 			s.now += dt
 		}
 		s.cap.SetVoltage(von)
+		s.cfg.Obs.Outage(offStart, s.now)
+		s.cfg.Obs.VoltageMark(s.now, von)
 	}
 
 	// Boot: restore state, then let the runtime system adapt.
+	restoreStart := s.now
 	done, eb = s.design.Restore(s.now)
 	s.advance(done, eb, &s.res.RestoreTime)
 	// A volatile instruction cache comes back cold: refetch the code
@@ -328,6 +348,7 @@ func (s *Simulator) powerFail(forced bool) {
 	if dt, ieb := s.cfg.ICache.coldRefill(); dt > 0 {
 		s.advance(s.now+dt, ieb, &s.res.RestoreTime)
 	}
+	s.cfg.Obs.RestoreDone(restoreStart, s.now, eb.Total())
 	s.prevOn, s.lastOn = s.lastOn, onDur
 	if rb, ok := s.design.(Rebooter); ok {
 		rb.OnBoot(s.lastOn, s.prevOn)
@@ -345,6 +366,28 @@ func (s *Simulator) powerFail(forced bool) {
 		s.noProgress = 0
 	}
 	s.instrAtBoot = s.res.Instructions
+}
+
+// checkpointLines reads the design's cumulative flushed-line counter,
+// or -1 when the design does not expose one. Paired with linesDelta it
+// attributes flushed lines to individual checkpoints for the recorder.
+func (s *Simulator) checkpointLines() int64 {
+	if s.cfg.Obs == nil {
+		return -1 // not recording; skip the ExtraStats copy
+	}
+	if es, ok := s.design.(ExtraStatser); ok {
+		return int64(es.ExtraStats().CheckpointLines)
+	}
+	return -1
+}
+
+// linesDelta converts a checkpointLines snapshot into the lines flushed
+// since it was taken (-1 when unknown).
+func (s *Simulator) linesDelta(before int64) int {
+	if before < 0 {
+		return -1
+	}
+	return int(s.checkpointLines() - before)
 }
 
 func (s *Simulator) abort(err error) {

@@ -122,6 +122,13 @@ func (t *Table) String() string {
 			colW = len(c) + 2
 		}
 	}
+	for _, r := range t.rows {
+		for _, v := range r.vals {
+			if len(formatCell(v))+2 > colW {
+				colW = len(formatCell(v)) + 2
+			}
+		}
+	}
 	fmt.Fprintf(&b, "%-*s", labelW+2, "benchmark")
 	for _, c := range t.Columns {
 		fmt.Fprintf(&b, "%*s", colW, c)
