@@ -1,5 +1,5 @@
-// Command wlobs records instrumented simulation runs and compares
-// their metric manifests across code versions.
+// Command wlobs records instrumented simulation runs, explains them
+// causally, and compares their metric manifests across code versions.
 //
 // `record` runs one workload on one or more designs with the
 // observability layer enabled (internal/obs), prints a per-run
@@ -8,6 +8,12 @@
 // `diff` compares two manifests cell by cell and flags metric changes
 // beyond a threshold in the bad direction; its exit status is non-zero
 // when any regression is found. `summary` re-renders a saved manifest.
+// `spans` reconstructs the causal span graph of a run (store stall →
+// write-back → port wait → DirtyQueue release; checkpoint/off/restore
+// under their outage). `attribute` charges every simulated cycle to
+// one category and compares the ledgers across designs (wlattr/v1
+// JSON with -json). `flame` renders the ledger as folded stacks for
+// standard flamegraph tooling.
 //
 // Usage:
 //
@@ -15,6 +21,9 @@
 //	wlobs record -fault tornckpt -crashes 3 -workload qsort
 //	wlobs diff -threshold 0.05 old/manifest.jsonl new/manifest.jsonl
 //	wlobs summary obs-out/manifest.jsonl
+//	wlobs spans -design wl -workload sha -trace tr1 -kind stall
+//	wlobs attribute -designs nvcache-wb,vcache-wt,wl -workload sha -trace tr1
+//	wlobs flame -design wl -workload sha -trace tr1 -out wl.folded
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"wlcache/internal/expt"
@@ -47,7 +57,7 @@ func main() {
 // the process exit code for a completed command.
 func run(args []string, stdout io.Writer) (int, error) {
 	if len(args) == 0 {
-		return 0, fmt.Errorf("usage: wlobs record|diff|summary [flags]; see `wlobs <cmd> -h`")
+		return 0, fmt.Errorf("usage: wlobs record|diff|summary|spans|attribute|flame [flags]; see `wlobs <cmd> -h`")
 	}
 	switch args[0] {
 	case "record":
@@ -56,8 +66,14 @@ func run(args []string, stdout io.Writer) (int, error) {
 		return runDiff(args[1:], stdout)
 	case "summary":
 		return runSummary(args[1:], stdout)
+	case "spans":
+		return runSpans(args[1:], stdout)
+	case "attribute":
+		return runAttribute(args[1:], stdout)
+	case "flame":
+		return runFlame(args[1:], stdout)
 	}
-	return 0, fmt.Errorf("unknown subcommand %q (want record, diff or summary)", args[0])
+	return 0, fmt.Errorf("unknown subcommand %q (want record, diff, summary, spans, attribute or flame)", args[0])
 }
 
 // crashSpacing is the instruction distance between forced crashes when
@@ -73,7 +89,7 @@ func runRecord(args []string, stdout io.Writer) (int, error) {
 		wl        = fs.String("workload", "sha", "benchmark name")
 		trace     = fs.String("trace", "tr1", "power source: none, tr1, tr2, tr3, solar, thermal")
 		scale     = fs.Int("scale", 1, "input-size multiplier")
-		events    = fs.Int("events", 0, "event ring capacity (0 = default)")
+		events    = fs.Int("events", 0, "event ring capacity; ~48 B/event, 0 = default 65536 (~3 MB)")
 		out       = fs.String("out", "wlobs-out", "output directory for manifest.jsonl and trace JSON")
 		check     = fs.Bool("check", true, "verify crash-consistency invariants")
 		faultMode = fs.String("fault", "", "also inject faults: crash, tornwb, tornckpt, ackloss")
@@ -142,6 +158,7 @@ func runRecord(args []string, stdout io.Writer) (int, error) {
 			return 0, fmt.Errorf("design %s: %w", kind, err)
 		}
 		foldResult(rec.Registry(), res)
+		warnDropped(rec, string(kind))
 
 		m := rec.Manifest()
 		if err := obs.AppendManifest(mf, m); err != nil {
@@ -230,11 +247,12 @@ func runDiff(args []string, stdout io.Writer) (int, error) {
 		for _, d := range deltas {
 			fmt.Fprintf(stdout, "  %s\n", d)
 		}
-		for _, k := range rep.OnlyOld {
-			fmt.Fprintf(stdout, "  only in old: %s\n", k)
-		}
-		for _, k := range rep.OnlyNew {
-			fmt.Fprintf(stdout, "  only in new: %s\n", k)
+		// Metrics on one side only always print: a new code version's
+		// added (or lost) metric must be visible even without -all.
+		if !*all {
+			for _, d := range rep.OneSided() {
+				fmt.Fprintf(stdout, "  %s\n", d)
+			}
 		}
 		regressions += len(rep.Regressions())
 	}
@@ -268,6 +286,297 @@ func runSummary(args []string, stdout io.Writer) (int, error) {
 		fmt.Fprint(stdout, obs.Summarize(m))
 		fmt.Fprintln(stdout)
 	}
+	return 0, nil
+}
+
+// warnDropped surfaces ring overwrites on stderr: a truncated trace
+// silently degrades spans/attribution coverage, so the operator should
+// know to re-run with a larger -events.
+func warnDropped(rec *obs.Recorder, kind string) {
+	if d := rec.Trace().Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "wlobs: warning: design %s dropped %d of %d events (ring full); rerun with a larger -events for full coverage\n",
+			kind, d, rec.Trace().Pushed())
+	}
+}
+
+// attrEventCap is the default ring size for the causal subcommands:
+// big enough that smoke-scale runs drop nothing, since dropped events
+// directly reduce attribution coverage (~48 B/event → 1 Mi ≈ 48 MB).
+const attrEventCap = 1 << 20
+
+// runInstrumented executes one design × workload × trace cell with
+// recording on and returns the recorder, the result and the core cycle
+// time (for ps → cycle conversion).
+func runInstrumented(kind expt.Kind, wl string, trace string, scale, events int) (*obs.Recorder, sim.Result, int64, error) {
+	w, ok := workload.ByName(wl)
+	if !ok {
+		return nil, sim.Result{}, 0, fmt.Errorf("unknown workload %q", wl)
+	}
+	rec := obs.NewRecorder(obs.RunMeta{Design: string(kind), Workload: w.Name, Trace: trace}, events)
+	cfg := sim.DefaultConfig()
+	cfg.Obs = rec
+	cfg.Trace = power.Get(power.Source(trace))
+	design, nvm := expt.NewDesign(kind, expt.Options{})
+	s, err := sim.New(cfg, design, nvm)
+	if err != nil {
+		return nil, sim.Result{}, 0, fmt.Errorf("design %s: %w", kind, err)
+	}
+	res, err := s.Run(w.Name, func(m isa.Machine) uint32 { return w.Run(m, scale) })
+	if err != nil {
+		return nil, sim.Result{}, 0, fmt.Errorf("design %s: %w", kind, err)
+	}
+	return rec, res, cfg.CyclePS, nil
+}
+
+func runSpans(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("wlobs spans", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		design   = fs.String("design", "wl", "design kind to reconstruct")
+		wl       = fs.String("workload", "sha", "benchmark name")
+		trace    = fs.String("trace", "tr1", "power source: none, tr1, tr2, tr3, solar, thermal")
+		scale    = fs.Int("scale", 1, "input-size multiplier")
+		events   = fs.Int("events", attrEventCap, "event ring capacity (~48 B/event)")
+		kindFlag = fs.String("kind", "", "only show spans of this kind (stall, writeback, port-wait, checkpoint, off, restore, outage)")
+		addrFlag = fs.String("addr", "", "only show spans touching this address (hex ok)")
+		limit    = fs.Int("limit", 50, "max spans to print (0 = all)")
+		asJSON   = fs.Bool("json", false, "emit spans as JSONL instead of the report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	rec, res, _, err := runInstrumented(expt.Kind(*design), *wl, *trace, *scale, *events)
+	if err != nil {
+		return 0, err
+	}
+	warnDropped(rec, *design)
+	set := obs.BuildSpans(rec.Trace(), rec.Meta, res.ExecTime)
+
+	var wantKind obs.SpanKind
+	if *kindFlag != "" {
+		k, ok := obs.SpanKindByName(*kindFlag)
+		if !ok {
+			return 0, fmt.Errorf("unknown span kind %q", *kindFlag)
+		}
+		wantKind = k
+	}
+	var wantAddr uint32
+	haveAddr := false
+	if *addrFlag != "" {
+		a, err := strconv.ParseUint(*addrFlag, 0, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad -addr %q: %w", *addrFlag, err)
+		}
+		wantAddr, haveAddr = uint32(a), true
+	}
+	match := func(sp obs.Span) bool {
+		if wantKind != 0 && sp.Kind != wantKind {
+			return false
+		}
+		if haveAddr && sp.Addr != wantAddr {
+			return false
+		}
+		return true
+	}
+
+	if *asJSON {
+		filtered := set
+		filtered.Spans = nil
+		for _, sp := range set.Spans {
+			if match(sp) {
+				filtered.Spans = append(filtered.Spans, sp)
+			}
+		}
+		return 0, filtered.WriteJSONL(stdout)
+	}
+	fmt.Fprint(stdout, set.Summary())
+	shown := 0
+	for _, sp := range set.Spans {
+		if !match(sp) {
+			continue
+		}
+		if *limit > 0 && shown >= *limit {
+			fmt.Fprintf(stdout, "   ... (use -limit 0 for all)\n")
+			break
+		}
+		fmt.Fprintf(stdout, "  %s\n", set.Format(sp))
+		shown++
+	}
+	return 0, nil
+}
+
+func runAttribute(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("wlobs attribute", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		designs  = fs.String("designs", "nvcache-wb,vcache-wt,wl", "comma-separated design kinds to attribute")
+		wl       = fs.String("workload", "sha", "benchmark name")
+		trace    = fs.String("trace", "tr1", "power source: none, tr1, tr2, tr3, solar, thermal")
+		scale    = fs.Int("scale", 1, "input-size multiplier")
+		events   = fs.Int("events", attrEventCap, "event ring capacity (~48 B/event)")
+		top      = fs.Int("top", 5, "hotspot sites to print per design (0 = none)")
+		jsonOut  = fs.String("json", "", "also append wlattr/v1 JSONL records to this file")
+		needFull = fs.Bool("require-full-coverage", false, "exit 1 unless every ledger attributes 100% of cycles")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	var ledgers []obs.Ledger
+	for _, d := range strings.Split(*designs, ",") {
+		kind := expt.Kind(strings.TrimSpace(d))
+		rec, res, cyclePS, err := runInstrumented(kind, *wl, *trace, *scale, *events)
+		if err != nil {
+			return 0, err
+		}
+		warnDropped(rec, string(kind))
+		l := rec.Attribute(res.ExecTime, cyclePS)
+		if l.SumPS() != l.TotalPS {
+			// The ledger's own invariant; if it ever trips the profiler
+			// is lying and must not pretend otherwise.
+			return 0, fmt.Errorf("design %s: ledger sum %d ps != total %d ps", kind, l.SumPS(), l.TotalPS)
+		}
+		ledgers = append(ledgers, l)
+	}
+	fmt.Fprint(stdout, attrTable(ledgers, *top))
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return 0, err
+		}
+		for i := range ledgers {
+			if err := obs.WriteAttr(f, &ledgers[i], *top); err != nil {
+				f.Close()
+				return 0, err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonOut)
+	}
+	if *needFull {
+		for i := range ledgers {
+			if ledgers[i].Coverage() < 1 {
+				fmt.Fprintf(stdout, "attribute: %s coverage %.3f%% < 100%% (ring dropped %d events)\n",
+					ledgers[i].Meta.Key(), 100*ledgers[i].Coverage(), ledgers[i].Dropped)
+				return 1, nil
+			}
+		}
+	}
+	return 0, nil
+}
+
+// attrTable renders the cross-design cycle ledger: one column per
+// design, one row per category, cycles with percent-of-total.
+func attrTable(ledgers []obs.Ledger, top int) string {
+	var b strings.Builder
+	if len(ledgers) == 0 {
+		return ""
+	}
+	cell := func(l *obs.Ledger, ps int64) string {
+		pct := 0.0
+		if l.TotalPS > 0 {
+			pct = 100 * float64(ps) / float64(l.TotalPS)
+		}
+		return fmt.Sprintf("%d (%5.1f%%)", l.Cycles(ps), pct)
+	}
+	const catW = 18
+	colW := make([]int, len(ledgers))
+	for i := range ledgers {
+		colW[i] = len(ledgers[i].Meta.Design)
+		for _, c := range obs.Categories() {
+			if n := len(cell(&ledgers[i], ledgers[i].CatPS[c])); n > colW[i] {
+				colW[i] = n
+			}
+		}
+		if n := len(cell(&ledgers[i], ledgers[i].UnknownPS)); n > colW[i] {
+			colW[i] = n
+		}
+	}
+	fmt.Fprintf(&b, "cycle attribution: %s / %s (cycles, %% of total)\n",
+		ledgers[0].Meta.Workload, ledgers[0].Meta.Trace)
+	fmt.Fprintf(&b, "%-*s", catW, "category")
+	for i := range ledgers {
+		fmt.Fprintf(&b, "  %*s", colW[i], ledgers[i].Meta.Design)
+	}
+	b.WriteByte('\n')
+	for _, c := range obs.Categories() {
+		fmt.Fprintf(&b, "%-*s", catW, c)
+		for i := range ledgers {
+			fmt.Fprintf(&b, "  %*s", colW[i], cell(&ledgers[i], ledgers[i].CatPS[c]))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-*s", catW, "unknown")
+	for i := range ledgers {
+		fmt.Fprintf(&b, "  %*s", colW[i], cell(&ledgers[i], ledgers[i].UnknownPS))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-*s", catW, "total cycles")
+	for i := range ledgers {
+		fmt.Fprintf(&b, "  %*d", colW[i], ledgers[i].Cycles(ledgers[i].TotalPS))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-*s", catW, "hidden port-wait")
+	for i := range ledgers {
+		fmt.Fprintf(&b, "  %*d", colW[i], ledgers[i].Cycles(ledgers[i].HiddenPortWaitPS))
+	}
+	b.WriteString("  (async WBs, overlapped by execution)\n")
+	fmt.Fprintf(&b, "%-*s", catW, "coverage")
+	for i := range ledgers {
+		fmt.Fprintf(&b, "  %*s", colW[i], fmt.Sprintf("%.1f%%", 100*ledgers[i].Coverage()))
+	}
+	b.WriteByte('\n')
+	if top > 0 {
+		for i := range ledgers {
+			l := &ledgers[i]
+			if len(l.Hotspots) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "\n%s hotspots (stall + sync port-wait cycles by site):\n", l.Meta.Design)
+			for j, h := range l.Hotspots {
+				if j >= top {
+					break
+				}
+				fmt.Fprintf(&b, "  %-40s stall %-12d port-wait %-12d (%d events)\n",
+					h.Site, l.Cycles(h.StallPS), l.Cycles(h.PortWaitPS), h.Events)
+			}
+		}
+	}
+	return b.String()
+}
+
+func runFlame(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("wlobs flame", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		design = fs.String("design", "wl", "design kind to profile")
+		wl     = fs.String("workload", "sha", "benchmark name")
+		trace  = fs.String("trace", "tr1", "power source: none, tr1, tr2, tr3, solar, thermal")
+		scale  = fs.Int("scale", 1, "input-size multiplier")
+		events = fs.Int("events", attrEventCap, "event ring capacity (~48 B/event)")
+		out    = fs.String("out", "", "write folded stacks to this file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	rec, res, cyclePS, err := runInstrumented(expt.Kind(*design), *wl, *trace, *scale, *events)
+	if err != nil {
+		return 0, err
+	}
+	warnDropped(rec, *design)
+	l := rec.Attribute(res.ExecTime, cyclePS)
+	folded := l.Folded()
+	if *out == "" {
+		fmt.Fprint(stdout, folded)
+		return 0, nil
+	}
+	if err := os.WriteFile(*out, []byte(folded), 0o644); err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d stacks; render with e.g. flamegraph.pl or speedscope)\n",
+		*out, strings.Count(folded, "\n"))
 	return 0, nil
 }
 

@@ -232,7 +232,7 @@ func (c *WLCache) Access(now int64, op isa.Op, addr uint32, val uint32) (uint32,
 	if !ln.Dirty {
 		// Clean->dirty transition: take a DirtyQueue slot, stalling at
 		// the maxline bound (§5.1).
-		t = c.ensureSlot(t, &eb)
+		t = c.ensureSlot(t, lineAddr, &eb)
 		// The stall may have evicted nothing, but time passed; the
 		// line cannot have been evicted (no fills happen while
 		// stalled), so ln remains valid.
@@ -291,8 +291,9 @@ func (c *WLCache) fill(t int64, lineAddr uint32, eb *energy.Breakdown) (*cache.L
 // ensureSlot blocks (advances time) until the dirty-line count is
 // below maxline and the DirtyQueue has a free hardware slot. Under
 // dynamic adaptation it may instead raise maxline when the capacitor
-// can afford a larger reserve (§4).
-func (c *WLCache) ensureSlot(t int64, eb *energy.Breakdown) int64 {
+// can afford a larger reserve (§4). lineAddr is the line the blocked
+// store targets, carried onto the stall event as its correlation key.
+func (c *WLCache) ensureSlot(t int64, lineAddr uint32, eb *energy.Breakdown) int64 {
 	for c.dirty >= c.maxline || c.dq.Full() {
 		if c.dirty >= c.maxline && !c.dq.Full() && c.tryDynamicRaise(t) {
 			continue
@@ -310,7 +311,7 @@ func (c *WLCache) ensureSlot(t int64, eb *energy.Breakdown) int64 {
 		if wake > t {
 			c.extra.Stalls++
 			c.extra.StallTime += wake - t
-			c.rec.StoreStall(t, wake)
+			c.rec.StoreStall(t, wake, lineAddr)
 			t = wake
 		}
 		c.drainACKs(t)
@@ -357,7 +358,7 @@ func (c *WLCache) issueWriteback(t int64, eb *energy.Breakdown) bool {
 	}
 	ln.Dirty = false // step 1: mark clean first (§5.3)
 	c.dirty--
-	done, e := c.nvm.WriteLine(t, entry.addr, ln.Data) // step 2
+	done, e := c.nvm.WriteLineAsync(t, entry.addr, ln.Data) // step 2
 	eb.MemWrite += e
 	c.insertInflight(inflightWB{id: entry.id, addr: entry.addr, issued: t, done: done})
 	c.extra.Writebacks++

@@ -71,7 +71,7 @@ func (d *EagerWB) flushOne(now int64, eb *energy.Breakdown) {
 	if target == nil {
 		return
 	}
-	_, e := d.wb.nvm.WriteLine(now, targetAddr, target.Data)
+	_, e := d.wb.nvm.WriteLineAsync(now, targetAddr, target.Data)
 	eb.MemWrite += e
 	target.Dirty = false
 	d.extra.Writebacks++

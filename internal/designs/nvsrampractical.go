@@ -162,7 +162,7 @@ func (d *NVSRAMPractical) Access(now int64, op isa.Op, addr, val uint32) (uint32
 		// A dirty NV line would block JIT checkpointing; write it back
 		// eagerly (asynchronously on the NVM port) and keep it clean.
 		setIdx := d.setIndex(addr)
-		_, e := d.nvm.WriteLine(t, d.addrOf(setIdx, w), w.data)
+		_, e := d.nvm.WriteLineAsync(t, d.addrOf(setIdx, w), w.data)
 		eb.MemWrite += e
 		w.dirty = false
 		d.extra.Writebacks++

@@ -5,6 +5,7 @@ import (
 	"wlcache/internal/energy"
 	"wlcache/internal/isa"
 	"wlcache/internal/mem"
+	"wlcache/internal/obs"
 	"wlcache/internal/stats"
 )
 
@@ -44,7 +45,12 @@ type ReplayCache struct {
 	lastBarrierTime int64
 	lastEventTime   int64
 	extra           stats.DesignExtra
+	rec             *obs.Recorder
 }
+
+// BindObserver wires the recorder so region-boundary drains land on
+// the event timeline (sim.ObserverBinder).
+func (d *ReplayCache) BindObserver(r *obs.Recorder) { d.rec = r }
 
 // NewReplayCache builds the ReplayCache model.
 func NewReplayCache(geo cache.Geometry, pol cache.ReplacementPolicy, jit energy.JITCosts, params ReplayParams, nvm *mem.NVM) *ReplayCache {
@@ -87,7 +93,7 @@ func (d *ReplayCache) Access(now int64, op isa.Op, addr, val uint32) (uint32, in
 		}
 		// Asynchronous persist: occupies the NVM port but does not
 		// extend the store's completion time.
-		_, e := d.wb.nvm.WriteWord(done, addr, val)
+		_, e := d.wb.nvm.WriteWordAsync(done, addr, val)
 		eb.MemWrite += e
 		d.storesInRegion++
 		if d.storesInRegion >= d.params.RegionStores {
@@ -95,6 +101,7 @@ func (d *ReplayCache) Access(now int64, op isa.Op, addr, val uint32) (uint32, in
 			if busy := d.wb.nvm.BusyUntil(); busy > done {
 				d.extra.StallTime += busy - done
 				d.extra.Stalls++
+				d.rec.StoreStall(done, busy, d.wb.arr.LineAddr(addr))
 				done = busy
 			}
 			d.storesInRegion = 0

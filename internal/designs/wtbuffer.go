@@ -5,6 +5,7 @@ import (
 	"wlcache/internal/energy"
 	"wlcache/internal/isa"
 	"wlcache/internal/mem"
+	"wlcache/internal/obs"
 	"wlcache/internal/stats"
 )
 
@@ -61,7 +62,12 @@ type WTBuffer struct {
 	buf     []wtBufEntry
 	lineBuf []uint32
 	extra   stats.DesignExtra
+	rec     *obs.Recorder
 }
+
+// BindObserver wires the recorder so buffer-full stalls land on the
+// event timeline (sim.ObserverBinder).
+func (d *WTBuffer) BindObserver(r *obs.Recorder) { d.rec = r }
 
 // NewWTBuffer builds the write-through + write-buffer design.
 func NewWTBuffer(geo cache.Geometry, tech cache.Tech, pol cache.ReplacementPolicy, jit energy.JITCosts, params WTBufferParams, nvm *mem.NVM) *WTBuffer {
@@ -151,11 +157,12 @@ func (d *WTBuffer) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64
 		if oldest > t {
 			d.extra.Stalls++
 			d.extra.StallTime += oldest - t
+			d.rec.StoreStall(t, oldest, d.arr.LineAddr(addr))
 			t = oldest
 		}
 		d.drain(t)
 	}
-	done, e := d.nvm.WriteWord(t, addr, val)
+	done, e := d.nvm.WriteWordAsync(t, addr, val)
 	eb.MemWrite += e
 	d.buf = append(d.buf, wtBufEntry{addr: addr, val: val, done: done})
 	d.extra.Writebacks++

@@ -78,9 +78,13 @@ type LineWriteHook func(w LineWrite) int
 // layer (internal/obs) installs a recorder here; nil (the default)
 // disables observation at the cost of one nil check per access.
 type PortObserver interface {
-	// PortWait reports an access issued at now that waited `wait` ps
-	// (possibly 0) for the port; write distinguishes the write path.
-	PortWait(now, wait int64, write bool)
+	// PortWait reports an access of addr issued at now that waited
+	// `wait` ps (possibly 0) for the port; write distinguishes the
+	// write path. async marks fire-and-forget accesses (asynchronous
+	// write-backs, buffered persists) whose port wait is overlapped by
+	// execution rather than stalling the core — the distinction the
+	// cycle-attribution ledger (internal/obs) depends on.
+	PortWait(now, wait int64, addr uint32, write, async bool)
 }
 
 // NVM is the non-volatile main memory: a value store fronted by a
@@ -115,7 +119,7 @@ func (n *NVM) Traffic() Traffic { return n.traffic }
 // ReadWord reads one word at time now, returning the value, completion
 // time and energy drawn.
 func (n *NVM) ReadWord(now int64, addr uint32) (v uint32, done int64, energy float64) {
-	done = n.occupy(now, n.params.WordReadLatency)
+	done = n.occupy(now, n.params.WordReadLatency, addr)
 	n.traffic.ReadWords++
 	n.traffic.Reads++
 	return n.image.Read(addr), done, n.params.WordReadEnergy
@@ -125,12 +129,24 @@ func (n *NVM) ReadWord(now int64, addr uint32) (v uint32, done int64, energy flo
 // completion time reflects the full write latency, while the port
 // frees after the (shorter) occupancy.
 func (n *NVM) WriteWord(now int64, addr uint32, v uint32) (done int64, energy float64) {
+	return n.writeWord(now, addr, v, false)
+}
+
+// WriteWordAsync is WriteWord for fire-and-forget persists (buffered
+// write-through stores, replay logs) whose completion the core does
+// not wait for: timing, energy and image effects are identical, only
+// the port observer sees the wait as overlapped instead of blocking.
+func (n *NVM) WriteWordAsync(now int64, addr uint32, v uint32) (done int64, energy float64) {
+	return n.writeWord(now, addr, v, true)
+}
+
+func (n *NVM) writeWord(now int64, addr uint32, v uint32, async bool) (done int64, energy float64) {
 	start := now
 	if n.busyUntil > start {
 		start = n.busyUntil
 	}
 	if n.port != nil {
-		n.port.PortWait(now, start-now, true)
+		n.port.PortWait(now, start-now, addr, true, async)
 	}
 	n.busyUntil = start + n.params.WordWriteOccupancy
 	done = start + n.params.WordWriteLatency
@@ -142,7 +158,7 @@ func (n *NVM) WriteWord(now int64, addr uint32, v uint32) (done int64, energy fl
 
 // ReadLine reads len(dst) words starting at addr (miss fill).
 func (n *NVM) ReadLine(now int64, addr uint32, dst []uint32) (done int64, energy float64) {
-	done = n.occupy(now, n.params.LineReadLatency)
+	done = n.occupy(now, n.params.LineReadLatency, addr)
 	n.image.ReadLine(addr, dst)
 	n.traffic.ReadWords += uint64(len(dst))
 	n.traffic.Reads++
@@ -152,12 +168,24 @@ func (n *NVM) ReadLine(now int64, addr uint32, dst []uint32) (done int64, energy
 // WriteLine writes the words in src starting at addr (write-back path).
 // An installed LineWriteHook may truncate the persist to a prefix.
 func (n *NVM) WriteLine(now int64, addr uint32, src []uint32) (done int64, energy float64) {
+	return n.writeLine(now, addr, src, false)
+}
+
+// WriteLineAsync is WriteLine for asynchronous write-backs the core
+// does not wait on (DirtyQueue cleaning, eager flushes): identical
+// timing, energy and image effects, but the port observer sees the
+// wait as overlapped by execution instead of blocking it.
+func (n *NVM) WriteLineAsync(now int64, addr uint32, src []uint32) (done int64, energy float64) {
+	return n.writeLine(now, addr, src, true)
+}
+
+func (n *NVM) writeLine(now int64, addr uint32, src []uint32, async bool) (done int64, energy float64) {
 	start := now
 	if n.busyUntil > start {
 		start = n.busyUntil
 	}
 	if n.port != nil {
-		n.port.PortWait(now, start-now, true)
+		n.port.PortWait(now, start-now, addr, true, async)
 	}
 	done = start + n.params.LineWriteLatency
 	n.busyUntil = done
@@ -184,13 +212,13 @@ func (n *NVM) SetPortObserver(o PortObserver) { n.port = o }
 // BusyUntil returns the time at which the port frees.
 func (n *NVM) BusyUntil() int64 { return n.busyUntil }
 
-func (n *NVM) occupy(now, latency int64) (done int64) {
+func (n *NVM) occupy(now, latency int64, addr uint32) (done int64) {
 	start := now
 	if n.busyUntil > start {
 		start = n.busyUntil
 	}
 	if n.port != nil {
-		n.port.PortWait(now, start-now, false)
+		n.port.PortWait(now, start-now, addr, false, false)
 	}
 	done = start + latency
 	n.busyUntil = done

@@ -155,10 +155,20 @@ type Delta struct {
 	// Regression marks a change beyond the threshold in the metric's
 	// bad direction.
 	Regression bool
+	// State is "" for a metric present on both sides, "new" for one
+	// only the new manifest has (a metric a code change added), "gone"
+	// for one only the old manifest has.
+	State string
 }
 
 // String renders the delta as one report line.
 func (d Delta) String() string {
+	switch d.State {
+	case "new":
+		return fmt.Sprintf("%-10s %-9s %-22s %14s -> %-14s", "new", d.Kind, d.Metric, "-", trimFloat(d.New))
+	case "gone":
+		return fmt.Sprintf("%-10s %-9s %-22s %14s -> %-14s", "gone", d.Kind, d.Metric, trimFloat(d.Old), "-")
+	}
 	tag := "  "
 	switch {
 	case d.Regression:
@@ -177,13 +187,23 @@ func trimFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', 6, 64)
 }
 
-// DiffReport compares one run cell across two manifests.
+// DiffReport compares one run cell across two manifests. Metrics
+// present on one side only appear as Deltas with State "new"/"gone".
 type DiffReport struct {
 	Key    string
 	Deltas []Delta
-	// OnlyOld and OnlyNew list metrics present on one side only.
-	OnlyOld []string
-	OnlyNew []string
+}
+
+// OneSided returns the "new"/"gone" deltas — metrics a code change
+// added or removed, which a value diff alone would hide.
+func (r DiffReport) OneSided() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.State != "" {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Regressions returns the deltas flagged as regressions.
@@ -202,7 +222,7 @@ func (r DiffReport) Regressions() []Delta {
 func (r DiffReport) Changed(threshold float64) []Delta {
 	var out []Delta
 	for _, d := range r.Deltas {
-		if math.Abs(d.Rel) > threshold || d.Regression {
+		if math.Abs(d.Rel) > threshold || d.Regression || d.State != "" {
 			out = append(out, d)
 		}
 	}
@@ -244,7 +264,8 @@ func DiffManifests(old, new Manifest, threshold float64) DiffReport {
 		av := a[k]
 		bv, ok := b[k]
 		if !ok {
-			rep.OnlyOld = append(rep.OnlyOld, k)
+			rep.Deltas = append(rep.Deltas, Delta{
+				Metric: av.name(k), Kind: av.kind, Dir: av.dir, Old: av.v, State: "gone"})
 			continue
 		}
 		if !av.ok && !bv.ok {
@@ -274,7 +295,11 @@ func DiffManifests(old, new Manifest, threshold float64) DiffReport {
 		}
 	}
 	sort.Strings(bKeys)
-	rep.OnlyNew = bKeys
+	for _, k := range bKeys {
+		bv := b[k]
+		rep.Deltas = append(rep.Deltas, Delta{
+			Metric: bv.name(k), Kind: bv.kind, Dir: bv.dir, New: bv.v, State: "new"})
+	}
 	return rep
 }
 

@@ -44,15 +44,21 @@ type Recorder struct {
 	reg   *Registry
 
 	// Preresolved metrics, so event sites skip the registry map.
-	stallPS    *Histogram
-	wbLatPS    *Histogram
-	dqOcc      *Histogram
-	ckptPS     *Histogram
-	ckptPJ     *Histogram
-	ckptLines  *Histogram
-	offPS      *Histogram
-	restorePS  *Histogram
-	portWaitPS *Histogram
+	stallPS      *Histogram
+	wbLatPS      *Histogram
+	dqOcc        *Histogram
+	ckptPS       *Histogram
+	ckptPJ       *Histogram
+	ckptLines    *Histogram
+	offPS        *Histogram
+	restorePS    *Histogram
+	portWaitPS   *Histogram
+	portHiddenPS *Histogram
+
+	// curPC is the program counter of the memory operation in flight
+	// (OpContext); stall and port-wait events copy it as their
+	// correlation key for per-PC hotspot attribution.
+	curPC uint64
 
 	stalls    *Counter
 	wbIssued  *Counter
@@ -84,9 +90,10 @@ func NewRecorder(meta RunMeta, eventCap int) *Recorder {
 		ckptPS:     reg.Histogram("ckpt.cost_ps", DirLower),
 		ckptPJ:     reg.Histogram("ckpt.energy_pj", DirLower),
 		ckptLines:  reg.Histogram("ckpt.lines", DirNone),
-		offPS:      reg.Histogram("power.off_ps", DirLower),
-		restorePS:  reg.Histogram("power.restore_ps", DirLower),
-		portWaitPS: reg.Histogram("nvm.port_wait_ps", DirLower),
+		offPS:        reg.Histogram("power.off_ps", DirLower),
+		restorePS:    reg.Histogram("power.restore_ps", DirLower),
+		portWaitPS:   reg.Histogram("nvm.port_wait_ps", DirLower),
+		portHiddenPS: reg.Histogram("nvm.port_wait_async_ps", DirNone),
 
 		stalls:    reg.Counter("core.stalls", DirLower),
 		wbIssued:  reg.Counter("wb.issued", DirNone),
@@ -134,15 +141,26 @@ func (r *Recorder) VoltageGauge() *Gauge {
 
 // --- event sites ---
 
-// StoreStall records one store stalled at the maxline bound from
-// start until end (core.ensureSlot).
-func (r *Recorder) StoreStall(start, end int64) {
+// OpContext records the program counter of the architectural memory
+// operation now executing; subsequent stall and port-wait events carry
+// it as their hotspot correlation key until the next operation.
+func (r *Recorder) OpContext(pc uint64) {
+	if r == nil {
+		return
+	}
+	r.curPC = pc
+}
+
+// StoreStall records one store stalled at the maxline bound (or a
+// baseline's write-buffer/region bound) on line addr from start until
+// end (core.ensureSlot).
+func (r *Recorder) StoreStall(start, end int64, addr uint32) {
 	if r == nil {
 		return
 	}
 	r.stalls.Inc()
 	r.stallPS.Observe(float64(end - start))
-	r.trace.Push(Event{TS: start, Dur: end - start, Kind: KStall})
+	r.trace.Push(Event{TS: start, Dur: end - start, Kind: KStall, A: int64(addr), B: int64(r.curPC)})
 }
 
 // WritebackIssued records an asynchronous write-back leaving the
@@ -263,13 +281,32 @@ func (r *Recorder) Thresholds(maxline, waterline int) {
 	r.waterline.Set(float64(waterline))
 }
 
-// PortWait implements mem.PortObserver: one NVM access waited `wait`
-// ps for the single port.
-func (r *Recorder) PortWait(now, wait int64, write bool) {
+// PortWait implements mem.PortObserver: one NVM access of addr waited
+// `wait` ps for the single port. Synchronous waits block the core and
+// feed nvm.port_wait_ps; asynchronous waits (write-backs the core does
+// not wait on) are overlapped by execution and feed the informational
+// nvm.port_wait_async_ps. Nonzero waits are also traced for span
+// reconstruction and cycle attribution.
+func (r *Recorder) PortWait(now, wait int64, addr uint32, write, async bool) {
 	if r == nil {
 		return
 	}
-	r.portWaitPS.Observe(float64(wait))
+	if async {
+		r.portHiddenPS.Observe(float64(wait))
+	} else {
+		r.portWaitPS.Observe(float64(wait))
+	}
+	if wait == 0 {
+		return
+	}
+	var flags int64
+	if write {
+		flags |= portFlagWrite
+	}
+	if async {
+		flags |= portFlagAsync
+	}
+	r.trace.Push(Event{TS: now, Dur: wait, Kind: KPortWait, A: int64(addr), B: int64(r.curPC), F: float64(flags)})
 }
 
 // FaultTornWrite records an injected torn NVM line write: kept of n

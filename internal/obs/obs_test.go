@@ -12,7 +12,8 @@ import (
 // this is the disabled-instrumentation contract every hook relies on.
 func TestNilRecorderIsInert(t *testing.T) {
 	var r *Recorder
-	r.StoreStall(0, 10)
+	r.OpContext(0x1234)
+	r.StoreStall(0, 10, 0x40)
 	r.WritebackIssued(0, 0x40)
 	r.WritebackACK(0, 150, 0x40)
 	r.WritebackDropped(5, 0x40)
@@ -24,7 +25,10 @@ func TestNilRecorderIsInert(t *testing.T) {
 	r.VoltageMark(0, 3.2)
 	r.Adapt(0, 6, 7, true)
 	r.Thresholds(6, 5)
-	r.PortWait(0, 12, true)
+	r.PortWait(0, 12, 0x40, true, false)
+	if l := r.Attribute(1000, 100); l.SumPS() != 1000 {
+		t.Fatalf("nil-recorder ledger sum %d, want 1000", l.SumPS())
+	}
 	r.FaultTornWrite(0, 0x40, 3, 16)
 	if g := r.VoltageGauge(); g != nil {
 		t.Fatalf("nil recorder returned non-nil gauge")
@@ -94,7 +98,7 @@ func TestBucketOf(t *testing.T) {
 
 func TestChromeExportIsLoadableJSON(t *testing.T) {
 	r := NewRecorder(RunMeta{Design: "wl", Workload: "sha", Trace: "tr1"}, 128)
-	r.StoreStall(100, 300)
+	r.StoreStall(100, 300, 0x1000)
 	r.WritebackIssued(300, 0x1000)
 	r.WritebackACK(300, 450, 0x1000)
 	r.DirtyDepth(310, 5)
@@ -133,7 +137,7 @@ func TestChromeExportIsLoadableJSON(t *testing.T) {
 
 func TestManifestRoundTripAndSelfDiff(t *testing.T) {
 	r := NewRecorder(RunMeta{Design: "wl", Workload: "sha", Trace: "tr1"}, 64)
-	r.StoreStall(0, 1000)
+	r.StoreStall(0, 1000, 0x40)
 	r.DirtyDepth(0, 4)
 	r.DirtyDepth(10, 5)
 	r.WritebackACK(0, 150000, 0x40)
@@ -161,15 +165,15 @@ func TestManifestRoundTripAndSelfDiff(t *testing.T) {
 	if n := len(rep.Regressions()); n != 0 {
 		t.Fatalf("self-diff found %d regressions: %v", n, rep.Regressions())
 	}
-	if len(rep.OnlyOld) != 0 || len(rep.OnlyNew) != 0 {
-		t.Fatalf("self-diff metric mismatch: onlyOld=%v onlyNew=%v", rep.OnlyOld, rep.OnlyNew)
+	if one := rep.OneSided(); len(one) != 0 {
+		t.Fatalf("self-diff found one-sided metrics: %v", one)
 	}
 }
 
 func TestDiffFlagsRegressionsByDirection(t *testing.T) {
 	mk := func(stallPS, instr float64) Manifest {
 		r := NewRecorder(RunMeta{Design: "wl", Workload: "sha", Trace: "tr1"}, 16)
-		r.StoreStall(0, int64(stallPS))
+		r.StoreStall(0, int64(stallPS), 0x40)
 		r.Registry().Gauge("result.instructions", DirHigher).Set(instr)
 		r.Registry().Gauge("cfg.maxline", DirNone).Set(6)
 		return r.Manifest()
@@ -210,13 +214,60 @@ func TestSummarizeMentionsKeySections(t *testing.T) {
 	for d := 0; d < 7; d++ {
 		r.DirtyDepth(int64(d), d)
 	}
-	r.StoreStall(0, 123)
+	r.StoreStall(0, 123, 0x40)
 	r.Thresholds(6, 5)
 	out := Summarize(r.Manifest())
 	for _, want := range []string{"wl / sha / tr1", "dq.occupancy", "core.stalls", "DirtyQueue occupancy", "core.maxline"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("summary missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// Manifest round-trips must preserve histograms at the edges: never
+// observed, a single sample, and values past the last finite bucket
+// bound (whose open tail is encoded as Upper == 0 in JSON).
+func TestManifestHistogramEdgeCases(t *testing.T) {
+	r := NewRecorder(RunMeta{Design: "wl", Workload: "sha", Trace: "tr1"}, 16)
+	r.Registry().Histogram("edge.empty", DirLower)
+	r.Registry().Histogram("edge.single", DirLower).Observe(42)
+	r.Registry().Histogram("edge.huge", DirLower).Observe(math.Pow(2, 100))
+
+	var buf bytes.Buffer
+	if err := AppendManifest(&buf, r.Manifest()); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := ReadManifests(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := func(name string) HistSnap {
+		for _, h := range ms[0].Histograms {
+			if h.Name == name {
+				return h
+			}
+		}
+		t.Fatalf("round trip lost histogram %q", name)
+		return HistSnap{}
+	}
+	if h := snap("edge.empty"); h.Count != 0 || len(h.Buckets) != 0 || !math.IsNaN(h.Mean()) {
+		t.Fatalf("empty histogram round trip: %+v", h)
+	}
+	if h := snap("edge.single"); h.Count != 1 || h.Sum != 42 || h.Min != 42 || h.Max != 42 || len(h.Buckets) != 1 {
+		t.Fatalf("single-sample histogram round trip: %+v", h)
+	}
+	h := snap("edge.huge")
+	if h.Count != 1 || h.Max != math.Pow(2, 100) {
+		t.Fatalf("overflow histogram round trip: %+v", h)
+	}
+	if len(h.Buckets) != 1 || h.Buckets[0].Upper != 0 || h.Buckets[0].Count != 1 {
+		t.Fatalf("tail bucket must encode as Upper=0: %+v", h.Buckets)
+	}
+
+	// Self-diff across the edge cases: no regressions, nothing one-sided.
+	rep := DiffManifests(ms[0], ms[0], 0.05)
+	if len(rep.Regressions()) != 0 || len(rep.OneSided()) != 0 {
+		t.Fatalf("edge-case self-diff not clean: %+v", rep.Deltas)
 	}
 }
 

@@ -1,0 +1,389 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Span reconstruction (DESIGN.md §10): the raw event ring records what
+// happened; spans record what *caused* what. BuildSpans correlates the
+// typed events back into the paper's causal chains —
+//
+//	store → maxline-stall → WB-issue → NVM-port-wait → WB-ack →
+//	DirtyQueue release
+//
+// plus the power chain (power-failure → checkpoint → off → restore,
+// grouped under one outage span). Reconstruction is tolerant of
+// ring-dropped events: a missing half of a correlation simply leaves
+// the link unset, never panics, and the SpanSet reports how much of
+// the timeline its events still cover.
+
+// SpanKind classifies a reconstructed span.
+type SpanKind uint8
+
+// The span taxonomy.
+const (
+	// SpanStall: a store blocked at the maxline (or write-buffer)
+	// bound. Cause links the write-back whose ACK released it.
+	SpanStall SpanKind = iota + 1
+	// SpanWriteback: one asynchronous write-back, issue to ACK. The
+	// ACK is the DirtyQueue release of the entry.
+	SpanWriteback
+	// SpanPortWait: an NVM access waited for the single port. Parent
+	// links the write-back it delayed (async waits); Cause links the
+	// write-back that held the port, when one can be identified.
+	SpanPortWait
+	// SpanCheckpoint: one JIT checkpoint window.
+	SpanCheckpoint
+	// SpanOff: the recharge window of an outage.
+	SpanOff
+	// SpanRestore: the post-outage restore window.
+	SpanRestore
+	// SpanOutage: the whole power-failure episode; checkpoint, off and
+	// restore spans parent into it.
+	SpanOutage
+)
+
+// String names the span kind (also the `spans -kind` filter syntax).
+func (k SpanKind) String() string {
+	switch k {
+	case SpanStall:
+		return "stall"
+	case SpanWriteback:
+		return "writeback"
+	case SpanPortWait:
+		return "port-wait"
+	case SpanCheckpoint:
+		return "checkpoint"
+	case SpanOff:
+		return "off"
+	case SpanRestore:
+		return "restore"
+	case SpanOutage:
+		return "outage"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// SpanKindByName parses the `spans -kind` filter syntax.
+func SpanKindByName(name string) (SpanKind, bool) {
+	for k := SpanStall; k <= SpanOutage; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Span is one reconstructed causal interval. End < Start marks a span
+// still open when the trace ended (a write-back whose ACK never
+// arrived — power failed first, or the ring dropped it).
+type Span struct {
+	ID    int      `json:"id"`
+	Kind  SpanKind `json:"-"`
+	Start int64    `json:"start_ps"`
+	End   int64    `json:"end_ps"`
+
+	// Addr is the line (or word) address the span concerns; PC the
+	// program counter of the memory operation, 0 when unknown.
+	Addr uint32 `json:"addr,omitempty"`
+	PC   uint64 `json:"pc,omitempty"`
+
+	// Forced marks fault-plan-forced checkpoints/outages; Dropped
+	// marks write-backs whose ACK was lost to fault injection; Write
+	// and Async describe port-wait spans.
+	Forced  bool `json:"forced,omitempty"`
+	Dropped bool `json:"dropped,omitempty"`
+	Write   bool `json:"write,omitempty"`
+	Async   bool `json:"async,omitempty"`
+
+	// Lines and EnergyPJ carry checkpoint/restore payloads (Lines < 0:
+	// not reported by the design).
+	Lines    int     `json:"lines,omitempty"`
+	EnergyPJ float64 `json:"energy_pj,omitempty"`
+
+	// Parent is the index (into SpanSet.Spans) of the enclosing span,
+	// Cause of the span that causally released or delayed this one.
+	// -1 means none (or the correlating event was dropped).
+	Parent int `json:"parent"`
+	Cause  int `json:"cause"`
+}
+
+// Dur returns the span length (0 for open spans).
+func (s Span) Dur() int64 {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// MarshalJSON adds the symbolic kind to the wire form.
+func (s Span) MarshalJSON() ([]byte, error) {
+	type alias Span
+	return json.Marshal(struct {
+		Kind string `json:"kind"`
+		alias
+	}{s.Kind.String(), alias(s)})
+}
+
+// SpanSet is the reconstruction of one trace.
+type SpanSet struct {
+	Meta    RunMeta
+	Spans   []Span
+	TotalPS int64
+	// Pushed and Dropped mirror the source ring; Orphans counts spans
+	// whose causal counterpart was not found (dropped from the ring or
+	// structurally absent).
+	Pushed  uint64
+	Dropped uint64
+	Orphans int
+}
+
+// Coverage is the fraction of the run's timeline the retained events
+// still span: 1 on an undropped ring, less once the ring overwrote the
+// oldest window.
+func (s SpanSet) Coverage() float64 {
+	return coverageOf(s.Pushed, s.Dropped, s.firstTS(), s.TotalPS)
+}
+
+func (s SpanSet) firstTS() int64 {
+	first := int64(0)
+	for i, sp := range s.Spans {
+		if i == 0 || sp.Start < first {
+			first = sp.Start
+		}
+	}
+	return first
+}
+
+// coverageOf computes timeline coverage: with drops, only
+// [firstRetained, total) is explained.
+func coverageOf(pushed, dropped uint64, firstRetained, totalPS int64) float64 {
+	if dropped == 0 || totalPS <= 0 {
+		return 1
+	}
+	if firstRetained < 0 {
+		firstRetained = 0
+	}
+	if firstRetained > totalPS {
+		firstRetained = totalPS
+	}
+	return float64(totalPS-firstRetained) / float64(totalPS)
+}
+
+// BuildSpans reconstructs the causal spans of a trace. totalPS bounds
+// the run (Result.ExecTime); events at or past it (the final shutdown
+// flush) are ignored. A nil trace yields an empty set.
+func BuildSpans(tr *Trace, meta RunMeta, totalPS int64) SpanSet {
+	set := SpanSet{Meta: meta, TotalPS: totalPS, Pushed: tr.Pushed(), Dropped: tr.Dropped()}
+	evs := tr.Events()
+
+	// Pass 1: write-backs. An ACK is self-contained (it carries issue
+	// time, latency and address), so acked write-backs survive even
+	// when their issue event was dropped. Unacked issues stay open.
+	type wbKey struct {
+		ts   int64
+		addr uint32
+	}
+	spans := make([]*Span, 0, len(evs)/2)
+	add := func(sp Span) *Span {
+		sp.ID = len(spans)
+		sp.Parent, sp.Cause = -1, -1
+		spans = append(spans, &sp)
+		return spans[len(spans)-1]
+	}
+	wbByKey := map[wbKey]*Span{}   // issue (ts, addr) → span
+	wbByEnd := map[int64]*Span{}   // ACK arrival time → span (release lookup)
+	openWBs := map[wbKey]*Span{}   // issued, no ACK seen yet
+	for _, e := range evs {
+		if e.TS >= totalPS && totalPS > 0 {
+			continue
+		}
+		switch e.Kind {
+		case KWBIssue:
+			k := wbKey{e.TS, uint32(e.A)}
+			sp := add(Span{Kind: SpanWriteback, Start: e.TS, End: e.TS - 1, Addr: uint32(e.A)})
+			wbByKey[k] = sp
+			openWBs[k] = sp
+		case KWBAck:
+			k := wbKey{e.TS, uint32(e.A)}
+			sp, ok := wbByKey[k]
+			if !ok {
+				sp = add(Span{Kind: SpanWriteback, Start: e.TS, Addr: uint32(e.A)})
+				wbByKey[k] = sp
+			}
+			sp.End = e.TS + e.Dur
+			wbByEnd[sp.End] = sp
+			delete(openWBs, k)
+		case KWBDrop:
+			// The ACK was dropped by fault injection at e.TS: close the
+			// matching open write-back (if its issue survived).
+			var match *Span
+			for k, sp := range openWBs {
+				if k.addr == uint32(e.A) && k.ts <= e.TS && (match == nil || k.ts < match.Start) {
+					match = sp
+				}
+			}
+			if match == nil {
+				match = add(Span{Kind: SpanWriteback, Start: e.TS, Addr: uint32(e.A)})
+				set.Orphans++
+			}
+			match.End = e.TS
+			match.Dropped = true
+			wbByEnd[e.TS] = match
+			delete(openWBs, wbKey{match.Start, match.Addr})
+		}
+	}
+
+	// Pass 2: everything else, correlated against the write-backs.
+	var outage *Span
+	for _, e := range evs {
+		if e.TS >= totalPS && totalPS > 0 {
+			continue
+		}
+		switch e.Kind {
+		case KStall:
+			sp := add(Span{Kind: SpanStall, Start: e.TS, End: e.TS + e.Dur, Addr: uint32(e.A), PC: uint64(e.B)})
+			// The stall ended when a write-back ACK released a
+			// DirtyQueue slot: the releasing WB completes exactly at
+			// the stall's end.
+			if wb, ok := wbByEnd[sp.End]; ok {
+				sp.Cause = wb.ID
+			} else {
+				set.Orphans++
+			}
+		case KPortWait:
+			flags := int64(e.F)
+			sp := add(Span{Kind: SpanPortWait, Start: e.TS, End: e.TS + e.Dur,
+				Addr: uint32(e.A), PC: uint64(e.B),
+				Write: flags&portFlagWrite != 0, Async: flags&portFlagAsync != 0})
+			if sp.Async {
+				// An async wait delays its own write-back (same issue
+				// time and address).
+				if wb, ok := wbByKey[wbKey{e.TS, uint32(e.A)}]; ok {
+					sp.Parent = wb.ID
+				}
+			}
+			// Whoever held the port freed it at the wait's end; if that
+			// was an async write-back, link it as the cause.
+			if wb, ok := wbByEnd[sp.End]; ok && wb.ID != sp.Parent {
+				sp.Cause = wb.ID
+			}
+		case KCkpt:
+			sp := add(Span{Kind: SpanCheckpoint, Start: e.TS, End: e.TS + e.Dur,
+				Forced: e.A == 1, Lines: int(e.B), EnergyPJ: e.F})
+			if outage != nil {
+				sp.Parent = outage.ID
+			}
+		case KPowerFail:
+			outage = add(Span{Kind: SpanOutage, Start: e.TS, End: e.TS, Forced: e.A == 1})
+		case KOff:
+			sp := add(Span{Kind: SpanOff, Start: e.TS, End: e.TS + e.Dur})
+			if outage != nil {
+				sp.Parent = outage.ID
+			} else {
+				set.Orphans++
+			}
+		case KRestore:
+			sp := add(Span{Kind: SpanRestore, Start: e.TS, End: e.TS + e.Dur, EnergyPJ: e.F})
+			if outage != nil {
+				sp.Parent = outage.ID
+				outage.End = sp.End
+				outage = nil
+			} else {
+				set.Orphans++
+			}
+		}
+	}
+	// Unacked write-backs are orphans: power failed (or the ring
+	// dropped the ACK) before they completed.
+	set.Orphans += len(openWBs)
+
+	set.Spans = make([]Span, len(spans))
+	for i, sp := range spans {
+		set.Spans[i] = *sp
+	}
+	return set
+}
+
+// ByKind returns the spans of one kind, in trace order.
+func (s SpanSet) ByKind(k SpanKind) []Span {
+	var out []Span
+	for _, sp := range s.Spans {
+		if sp.Kind == k {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Format renders one span as a report line, resolving causal links
+// against the owning set.
+func (s SpanSet) Format(sp Span) string {
+	var b strings.Builder
+	end := "open"
+	if sp.End >= sp.Start {
+		end = fmt.Sprintf("+%d ps", sp.Dur())
+	}
+	fmt.Fprintf(&b, "#%-6d %-10s [%12d ps %10s]", sp.ID, sp.Kind, sp.Start, end)
+	if sp.Addr != 0 {
+		fmt.Fprintf(&b, " addr=%#x", sp.Addr)
+	}
+	if sp.PC != 0 {
+		fmt.Fprintf(&b, " site=%s", ResolvePC(sp.PC))
+	}
+	if sp.Forced {
+		b.WriteString(" forced")
+	}
+	if sp.Dropped {
+		b.WriteString(" ack-dropped")
+	}
+	if sp.Kind == SpanPortWait {
+		if sp.Async {
+			b.WriteString(" async")
+		} else {
+			b.WriteString(" sync")
+		}
+	}
+	if sp.Kind == SpanCheckpoint && sp.Lines >= 0 {
+		fmt.Fprintf(&b, " lines=%d", sp.Lines)
+	}
+	if sp.EnergyPJ != 0 {
+		fmt.Fprintf(&b, " energy=%.4gpJ", sp.EnergyPJ)
+	}
+	if sp.Parent >= 0 {
+		fmt.Fprintf(&b, " parent=#%d(%s)", sp.Parent, s.Spans[sp.Parent].Kind)
+	}
+	if sp.Cause >= 0 {
+		fmt.Fprintf(&b, " cause=#%d(%s)", sp.Cause, s.Spans[sp.Cause].Kind)
+	}
+	return b.String()
+}
+
+// Summary renders the per-kind tally and coverage header `wlobs spans`
+// prints before the span listing.
+func (s SpanSet) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %d spans", s.Meta.Key(), len(s.Spans))
+	for k := SpanStall; k <= SpanOutage; k++ {
+		if n := len(s.ByKind(k)); n > 0 {
+			fmt.Fprintf(&b, ", %d %s", n, k)
+		}
+	}
+	fmt.Fprintf(&b, "\n   events %d (dropped %d), timeline coverage %.1f%%, %d orphan link(s)\n",
+		s.Pushed, s.Dropped, 100*s.Coverage(), s.Orphans)
+	return b.String()
+}
+
+// WriteJSONL writes the spans one JSON object per line.
+func (s SpanSet) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, sp := range s.Spans {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,8 +13,10 @@ type Kind uint8
 
 // The event taxonomy (DESIGN.md §9).
 const (
-	// KStall: a store stalled at the maxline bound. TS..TS+Dur is the
-	// stall window.
+	// KStall: a store stalled at the maxline bound (or the analogous
+	// write-buffer/region bound of a baseline design). TS..TS+Dur is
+	// the stall window, A the line address being stored, B the program
+	// counter of the memory operation (0 when unknown).
 	KStall Kind = iota + 1
 	// KWBIssue: an asynchronous write-back was issued. A = line addr.
 	KWBIssue
@@ -46,6 +48,19 @@ const (
 	// KTorn: fault injection tore an NVM line write. A = line addr,
 	// B = words persisted out of F total words.
 	KTorn
+	// KPortWait: an NVM access waited TS..TS+Dur for the single port.
+	// A = target address, B = the program counter of the memory
+	// operation in flight (0 when unknown), F = flag bits (bit 0:
+	// write path, bit 1: asynchronous — the wait was overlapped by
+	// execution rather than blocking the core). Zero-length waits are
+	// not recorded.
+	KPortWait
+)
+
+// KPortWait flag bits carried in Event.F.
+const (
+	portFlagWrite = 1 << iota
+	portFlagAsync
 )
 
 // kindMeta maps a Kind to its Chrome trace_event rendering: the event
@@ -68,6 +83,7 @@ var kindMeta = [...]struct {
 	KDirty:     {"dirty-lines", "C", tidCore},
 	KVolt:      {"voltage", "C", tidPower},
 	KTorn:      {"torn-write", "i", tidFault},
+	KPortWait:  {"port-wait", "X", tidNVM},
 }
 
 // The timeline tracks of the Chrome export.
@@ -76,6 +92,7 @@ const (
 	tidWB
 	tidPower
 	tidFault
+	tidNVM
 )
 
 var tidNames = map[int]string{
@@ -83,6 +100,7 @@ var tidNames = map[int]string{
 	tidWB:    "writeback",
 	tidPower: "power",
 	tidFault: "fault",
+	tidNVM:   "nvm-port",
 }
 
 // Event is one trace record. TS and Dur are simulated picoseconds.
@@ -239,6 +257,16 @@ func chromeArgs(e Event) map[string]any {
 		return map[string]any{"v": e.F}
 	case KTorn:
 		return map[string]any{"addr": fmt.Sprintf("%#x", uint32(e.A)), "kept": e.B, "of": e.F}
+	case KStall:
+		return map[string]any{"addr": fmt.Sprintf("%#x", uint32(e.A)), "pc": fmt.Sprintf("%#x", uint64(e.B))}
+	case KPortWait:
+		flags := int64(e.F)
+		return map[string]any{
+			"addr":  fmt.Sprintf("%#x", uint32(e.A)),
+			"pc":    fmt.Sprintf("%#x", uint64(e.B)),
+			"write": flags&portFlagWrite != 0,
+			"async": flags&portFlagAsync != 0,
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"wlcache/internal/energy"
 	"wlcache/internal/isa"
@@ -132,6 +133,11 @@ func (s *Simulator) Run(name string, program func(m isa.Machine) uint32) (res Re
 		s.res.OffTime += dt
 		s.now += dt
 		s.cap.SetVoltage(von)
+		// The charge-up is an off window like any other: without this
+		// event the cycle ledger could not attribute the pre-boot dead
+		// time and sum(categories) would undershoot OffTime.
+		s.cfg.Obs.Outage(0, s.now)
+		s.cfg.Obs.VoltageMark(s.now, von)
 		s.bootTime = s.now
 	}
 
@@ -175,6 +181,9 @@ func (s *Simulator) Now() int64 { return s.now }
 
 // Load32 performs an architectural load through the design.
 func (s *Simulator) Load32(addr uint32) uint32 {
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.OpContext(memOpPC())
+	}
 	v := s.access(isa.OpLoad, addr, 0)
 	s.res.Loads++
 	if s.cfg.CheckInvariants {
@@ -188,6 +197,9 @@ func (s *Simulator) Load32(addr uint32) uint32 {
 
 // Store32 performs an architectural store through the design.
 func (s *Simulator) Store32(addr uint32, v uint32) {
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.OpContext(memOpPC())
+	}
 	s.golden.Write(addr, v)
 	s.access(isa.OpStore, addr, v)
 	s.res.Stores++
@@ -388,6 +400,20 @@ func (s *Simulator) linesDelta(before int64) int {
 		return -1
 	}
 	return int(s.checkpointLines() - before)
+}
+
+// memOpPC captures the workload call site of the memory operation in
+// flight — the closest host analogue of the store PC a hardware
+// profiler would latch. Skip 3 hops (Callers, memOpPC, Load32/Store32)
+// to land on the workload; -1 turns the return address into the call
+// instruction so ResolvePC names the right source line. Only called
+// when observability is on.
+func memOpPC() uint64 {
+	var pcs [1]uintptr
+	if runtime.Callers(3, pcs[:]) < 1 {
+		return 0
+	}
+	return uint64(pcs[0] - 1)
 }
 
 func (s *Simulator) abort(err error) {
