@@ -14,6 +14,7 @@ import (
 	"wlcache/internal/expt"
 	"wlcache/internal/isa"
 	"wlcache/internal/mem"
+	"wlcache/internal/obs"
 	"wlcache/internal/power"
 	"wlcache/internal/sim"
 )
@@ -165,6 +166,132 @@ func BenchmarkNVMLineWrite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		done, _ := nvm.WriteLine(now, uint32((i%65536)*64), line)
 		now = done
+	}
+}
+
+// --- hot-path benches (the PR-5 optimization targets) ---
+
+// BenchmarkTracedRun measures one full sweep cell — the wl design
+// running sha under the home RF trace — exactly as expt.runCells
+// executes it. This is the unit every figure sweep repeats hundreds of
+// times, so it is the headline number for hot-path work.
+func BenchmarkTracedRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Run(expt.KindWL, expt.Options{}, "sha", 1, power.Trace1, sim.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Instructions)*float64(b.N)/b.Elapsed().Seconds(), "sim-instrs/sec")
+	}
+}
+
+// BenchmarkTracedRunObs is BenchmarkTracedRun with the observability
+// recorder attached: the gap to BenchmarkTracedRun is the obs tax.
+func BenchmarkTracedRunObs(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Obs = obs.NewRecorder(obs.RunMeta{Design: "wl", Workload: "sha", Trace: "tr1"}, 1<<16)
+		res, err := expt.Run(expt.KindWL, expt.Options{}, "sha", 1, power.Trace1, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Instructions)*float64(b.N)/b.Elapsed().Seconds(), "sim-instrs/sec")
+	}
+}
+
+// BenchmarkTracedRunObsSampled is BenchmarkTracedRunObs with op-context
+// capture sampled down to every 64th memory op: the dominant obs cost
+// (the runtime.Callers walk behind each op's PC) is gated by
+// WantsOpContext, so this bounds the overhead of keeping the recorder
+// attached while sampling hotspots approximately.
+func BenchmarkTracedRunObsSampled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Obs = obs.NewRecorder(obs.RunMeta{Design: "wl", Workload: "sha", Trace: "tr1"}, 1<<16)
+		cfg.Obs.SetOpContextSampling(64)
+		res, err := expt.Run(expt.KindWL, expt.Options{}, "sha", 1, power.Trace1, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Instructions)*float64(b.N)/b.Elapsed().Seconds(), "sim-instrs/sec")
+	}
+}
+
+// BenchmarkIntegrateShort measures the simulator's own Integrate
+// pattern: monotone sub-segment windows (~1 ns each) sweeping the
+// trace, which is what advance() issues on every instruction.
+func BenchmarkIntegrateShort(b *testing.B) {
+	tr := power.Get(power.Trace1)
+	period := tr.Step * int64(len(tr.Samples))
+	b.ReportAllocs()
+	var acc float64
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		acc += tr.Integrate(now, now+1000)
+		now += 1000
+		if now > 4*period {
+			now = 0
+		}
+	}
+	_ = acc
+}
+
+// BenchmarkIntegrateLong measures windows spanning many full trace
+// periods — O(n) per call before the prefix-sum table, O(1) after.
+func BenchmarkIntegrateLong(b *testing.B) {
+	tr := power.Get(power.Trace1)
+	period := tr.Step * int64(len(tr.Samples))
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		from := int64(i%1000) * 777
+		acc += tr.Integrate(from, from+3*period+12345)
+	}
+	_ = acc
+}
+
+// BenchmarkTimeToHarvest measures outage-recharge solving: find when
+// the capacitor has harvested a JIT reserve's worth of energy.
+func BenchmarkTimeToHarvest(b *testing.B) {
+	tr := power.Get(power.Trace1)
+	period := tr.Step * int64(len(tr.Samples))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		from := int64(i%4096) * 1_000_000
+		if _, ok := tr.TimeToHarvest(from, 3e-6); !ok {
+			b.Fatal("no harvest")
+		}
+		_ = period
+	}
+}
+
+// BenchmarkStoreWords measures word-granularity Store access with the
+// locality the simulator actually has (runs within a page).
+func BenchmarkStoreWords(b *testing.B) {
+	st := mem.NewStore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		addr := uint32(0x1000 + (i%1024)*4)
+		st.Write(addr, uint32(i))
+		if st.Read(addr) != uint32(i) {
+			b.Fatal("readback")
+		}
+	}
+}
+
+// BenchmarkStoreLine measures line-granularity Store access (the NVM
+// image path under every cache fill and write-back).
+func BenchmarkStoreLine(b *testing.B) {
+	st := mem.NewStore()
+	line := make([]uint32, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		addr := uint32((i % 4096) * 64)
+		st.WriteLine(addr, line)
+		st.ReadLine(addr, line)
 	}
 }
 

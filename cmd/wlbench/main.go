@@ -45,17 +45,18 @@ func run(args []string, stdout io.Writer) error {
 		check      = fs.Bool("check", false, "enable expensive correctness invariants")
 		outDir     = fs.String("out", "", "also write each experiment's output to <out>/<id>.txt")
 		jsonOut    = fs.String("json", "", "run the benchmark suite and write JSON results to this file ('-' = stdout)")
+		compare    = fs.String("compare", "", "run the benchmark suite and fail unless every simulated outcome matches this golden JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *jsonOut != "" {
+	if *jsonOut != "" || *compare != "" {
 		wls := benchWorkloads
 		if *workloads != "" {
 			wls = strings.Split(*workloads, ",")
 		}
-		return runJSONBench(*jsonOut, wls, *scale, stdout)
+		return runJSONBench(*jsonOut, *compare, wls, *scale, stdout)
 	}
 
 	if *list || *experiment == "" {
@@ -123,9 +124,10 @@ type benchResult struct {
 	Workload string `json:"workload"`
 	Trace    string `json:"trace"`
 
-	HostNs  int64   `json:"host_ns"`   // wall-clock for the whole run
-	NsPerOp float64 `json:"ns_per_op"` // host ns per simulated instruction
-	ExecPS  int64   `json:"sim_exec_ps"`
+	HostNs       int64   `json:"host_ns"`            // wall-clock for the whole run
+	NsPerOp      float64 `json:"ns_per_op"`          // host ns per simulated instruction
+	InstrsPerSec float64 `json:"sim_instrs_per_sec"` // simulated instructions per host second
+	ExecPS       int64   `json:"sim_exec_ps"`
 
 	Instructions uint64  `json:"instructions"`
 	Outages      uint64  `json:"outages"`
@@ -143,8 +145,12 @@ type benchFile struct {
 }
 
 // runJSONBench runs the machine-readable benchmark suite: the paper's
-// figure designs over the given workloads under tr1.
-func runJSONBench(path string, wls []string, scale int, stdout io.Writer) error {
+// figure designs over the given workloads under tr1. With a non-empty
+// goldenPath the simulated outcomes are additionally compared against
+// the committed golden document (host timings are machine-dependent and
+// ignored); any divergence is an error, which is what lets CI catch an
+// optimization that changed simulation results.
+func runJSONBench(path, goldenPath string, wls []string, scale int, stdout io.Writer) error {
 	doc := benchFile{Schema: benchSchema}
 	for _, kind := range expt.FigureKinds() {
 		for _, wl := range wls {
@@ -171,21 +177,86 @@ func runJSONBench(path string, wls []string, scale int, stdout io.Writer) error 
 			if res.Instructions > 0 {
 				r.NsPerOp = float64(host) / float64(res.Instructions)
 			}
+			if host > 0 {
+				r.InstrsPerSec = float64(res.Instructions) / (float64(host) / 1e9)
+			}
 			doc.Results = append(doc.Results, r)
 		}
 	}
-	buf, err := json.MarshalIndent(doc, "", "  ")
+	if path != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if path == "-" {
+			if _, err := stdout.Write(buf); err != nil {
+				return err
+			}
+		} else {
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %d results to %s\n", len(doc.Results), path)
+		}
+	}
+	if goldenPath != "" {
+		if err := compareGolden(doc, goldenPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "golden check passed: %d cells match %s\n", len(doc.Results), goldenPath)
+	}
+	return nil
+}
+
+// compareGolden checks every simulated (machine-independent) outcome of
+// doc against the golden document: checksum, simulated execution time,
+// instruction/outage/stall/write-back counts and dirty-line stats. Host
+// timings differ per machine and are not compared.
+func compareGolden(doc benchFile, goldenPath string) error {
+	raw, err := os.ReadFile(goldenPath)
 	if err != nil {
 		return err
 	}
-	buf = append(buf, '\n')
-	if path == "-" {
-		_, err := stdout.Write(buf)
-		return err
+	var golden benchFile
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		return fmt.Errorf("golden %s: %w", goldenPath, err)
 	}
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
-		return err
+	if golden.Schema != benchSchema {
+		return fmt.Errorf("golden %s: schema %q, want %q", goldenPath, golden.Schema, benchSchema)
 	}
-	fmt.Fprintf(stdout, "wrote %d results to %s\n", len(doc.Results), path)
+	want := make(map[string]benchResult, len(golden.Results))
+	for _, g := range golden.Results {
+		want[g.Design+"/"+g.Workload+"/"+g.Trace] = g
+	}
+	var mismatches []string
+	for _, r := range doc.Results {
+		key := r.Design + "/" + r.Workload + "/" + r.Trace
+		g, ok := want[key]
+		if !ok {
+			continue // cell not pinned by the golden (e.g. subset golden)
+		}
+		delete(want, key)
+		check := func(field string, got, exp any) {
+			if got != exp {
+				mismatches = append(mismatches, fmt.Sprintf("%s: %s = %v, golden %v", key, field, got, exp))
+			}
+		}
+		check("checksum", r.Checksum, g.Checksum)
+		check("sim_exec_ps", r.ExecPS, g.ExecPS)
+		check("instructions", r.Instructions, g.Instructions)
+		check("outages", r.Outages, g.Outages)
+		check("stalls", r.Stalls, g.Stalls)
+		check("writebacks", r.Writebacks, g.Writebacks)
+		check("dirty_peak", r.DirtyPeak, g.DirtyPeak)
+		check("avg_dirty_per_ckpt", r.AvgDirty, g.AvgDirty)
+	}
+	for key := range want {
+		mismatches = append(mismatches, fmt.Sprintf("%s: present in golden but not produced by this run", key))
+	}
+	if len(mismatches) > 0 {
+		return fmt.Errorf("simulation outcomes diverged from %s:\n  %s",
+			goldenPath, strings.Join(mismatches, "\n  "))
+	}
 	return nil
 }

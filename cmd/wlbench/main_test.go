@@ -132,3 +132,61 @@ func TestJSONBench(t *testing.T) {
 		t.Errorf("wl dirty_peak = %d, want > 0", wl.DirtyPeak)
 	}
 }
+
+// The committed golden must match a fresh run (simulation is
+// deterministic), and a corrupted golden must be detected with a
+// non-nil error naming the diverging field.
+func TestCompareGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var b strings.Builder
+	if err := run([]string{"-compare", "testdata/bench_golden.json", "-workloads", "adpcmencode,sha"}, &b); err != nil {
+		t.Fatalf("compare against committed golden: %v", err)
+	}
+	if !strings.Contains(b.String(), "golden check passed") {
+		t.Fatalf("missing pass message:\n%s", b.String())
+	}
+
+	// Corrupt one checksum; the run must now fail and say where.
+	raw, err := os.ReadFile("testdata/bench_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc.Results[0].Checksum++
+	bad, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-compare", badPath, "-workloads", "adpcmencode"}, &b)
+	if err == nil {
+		t.Fatal("corrupted golden accepted")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("error does not name the diverging field: %v", err)
+	}
+}
+
+// A golden pinning a cell the run does not produce must fail loudly
+// (a silently shrinking suite would hollow out the regression check).
+func TestCompareGoldenMissingCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var b strings.Builder
+	err := run([]string{"-compare", "testdata/bench_golden.json", "-workloads", "adpcmencode"}, &b)
+	if err == nil {
+		t.Fatal("golden cells for sha were not produced, yet compare passed")
+	}
+	if !strings.Contains(err.Error(), "not produced") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

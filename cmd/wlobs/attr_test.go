@@ -34,17 +34,17 @@ func TestFoldResult(t *testing.T) {
 	foldResult(rec.Registry(), res)
 
 	want := map[string]float64{
-		"result.exec_ps":         1_000_000,
-		"result.on_ps":           700_000,
-		"result.ckpt_ps":         50_000,
-		"result.off_ps":          200_000,
-		"result.restore_ps":      50_000,
-		"result.instructions":    12345,
-		"result.outages":         7,
-		"result.energy_pj":       2000,
-		"result.nvm_write_bytes": 1024,
+		"result.exec_ps":           1_000_000,
+		"result.on_ps":             700_000,
+		"result.ckpt_ps":           50_000,
+		"result.off_ps":            200_000,
+		"result.restore_ps":        50_000,
+		"result.instructions":      12345,
+		"result.outages":           7,
+		"result.energy_pj":         2000,
+		"result.nvm_write_bytes":   1024,
 		"result.reserve_wasted_pj": 1000,
-		"result.checksum":        float64(0xdead),
+		"result.checksum":          float64(0xdead),
 	}
 	m := rec.Manifest()
 	got := map[string]float64{}

@@ -91,6 +91,8 @@ type Array struct {
 	setShift uint32
 	setMask  uint32
 	offMask  uint32
+	setBits  uint32 // trailingSetBits(setMask), precomputed
+	tagShift uint32 // setShift + setBits, precomputed
 }
 
 // NewArray builds an empty cache array. It panics on invalid geometry
@@ -100,17 +102,23 @@ func NewArray(g Geometry, p ReplacementPolicy) *Array {
 		panic(err)
 	}
 	a := &Array{geo: g, policy: p}
+	// One backing slab for every line's data (2 allocations for the
+	// whole array instead of Lines()+Sets()): better locality and far
+	// less allocator work when experiments construct designs per cell.
+	lines := make([]Line, g.Lines())
+	slab := make([]uint32, g.Lines()*g.LineWords())
+	for i := range lines {
+		lines[i].Data = slab[i*g.LineWords() : (i+1)*g.LineWords() : (i+1)*g.LineWords()]
+	}
 	a.sets = make([][]Line, g.Sets())
 	for i := range a.sets {
-		ways := make([]Line, g.Ways)
-		for w := range ways {
-			ways[w].Data = make([]uint32, g.LineWords())
-		}
-		a.sets[i] = ways
+		a.sets[i] = lines[i*g.Ways : (i+1)*g.Ways : (i+1)*g.Ways]
 	}
 	a.offMask = uint32(g.LineBytes - 1)
 	a.setShift = uint32(log2(g.LineBytes))
 	a.setMask = uint32(g.Sets() - 1)
+	a.setBits = trailingSetBits(a.setMask)
+	a.tagShift = a.setShift + a.setBits
 	return a
 }
 
@@ -127,7 +135,7 @@ func (a *Array) LineAddr(addr uint32) uint32 { return addr &^ a.offMask }
 func (a *Array) setIndex(addr uint32) uint32 { return (addr >> a.setShift) & a.setMask }
 
 // tagOf returns the tag for addr.
-func (a *Array) tagOf(addr uint32) uint32 { return addr >> a.setShift >> trailingSetBits(a.setMask) }
+func (a *Array) tagOf(addr uint32) uint32 { return addr >> a.tagShift }
 
 // Lookup finds the line containing addr. It returns the line and true
 // on a hit. Lookup does not touch replacement state; call Touch on a
@@ -201,8 +209,7 @@ func (a *Array) VictimAddr(ln *Line, likeAddr uint32) uint32 {
 	if !ln.Valid {
 		panic("cache: VictimAddr on invalid line")
 	}
-	setBits := trailingSetBits(a.setMask)
-	return ln.Tag<<(setBits+a.setShift) | a.setIndex(likeAddr)<<a.setShift
+	return ln.Tag<<a.tagShift | a.setIndex(likeAddr)<<a.setShift
 }
 
 // WordIndex returns the word offset of addr within its line.
@@ -234,12 +241,11 @@ func (a *Array) DirtyCount() int {
 
 // ForEachLine invokes fn for every valid line with its base address.
 func (a *Array) ForEachLine(fn func(addr uint32, ln *Line)) {
-	setBits := trailingSetBits(a.setMask)
 	for s := range a.sets {
 		for w := range a.sets[s] {
 			ln := &a.sets[s][w]
 			if ln.Valid {
-				addr := ln.Tag<<(setBits+a.setShift) | uint32(s)<<a.setShift
+				addr := ln.Tag<<a.tagShift | uint32(s)<<a.setShift
 				fn(addr, ln)
 			}
 		}

@@ -92,10 +92,17 @@ type WLCache struct {
 	probe func(newReserve float64) bool
 	// ackFilter, when set, may drop write-back ACKs (fault injection).
 	ackFilter func(id uint64, addr uint32) bool
+	// reserveChanged, when set, tells the simulator its cached Vbackup
+	// threshold is stale; fired after every maxline change.
+	reserveChanged func()
 	// rec, when set, records stalls, write-back issue/ACK, DirtyQueue
 	// occupancy and threshold adaptation (internal/obs). nil disables
 	// recording at the cost of one nil check per event site.
 	rec *obs.Recorder
+
+	// replE is cfg.Tech.ReplacementEnergy[cfg.CachePolicy], hoisted out
+	// of the per-access map lookup.
+	replE float64
 
 	extra       stats.DesignExtra
 	lineBuf     []uint32
@@ -123,6 +130,7 @@ func New(cfg Config, nvm *mem.NVM) *WLCache {
 		dq:        NewDirtyQueue(cfg.DQCap),
 		maxline:   cfg.Maxline,
 		waterline: cfg.Waterline,
+		replE:     cfg.Tech.ReplacementEnergy[cfg.CachePolicy],
 		lineBuf:   make([]uint32, cfg.Geometry.LineWords()),
 	}
 	if cfg.Adaptive.Mode != AdaptOff {
@@ -156,6 +164,11 @@ func (c *WLCache) Queue() *DirtyQueue { return c.dq }
 // BindEnergyProbe installs the residual-energy probe used by dynamic
 // adaptation; the simulator calls this when it owns the capacitor.
 func (c *WLCache) BindEnergyProbe(p func(newReserve float64) bool) { c.probe = p }
+
+// BindReserveChanged installs the simulator's stale-threshold callback,
+// invoked after every maxline change so the cached Vbackup is refreshed
+// (sim.ReserveNotifyBinder).
+func (c *WLCache) BindReserveChanged(f func()) { c.reserveChanged = f }
 
 // BindObserver installs the observability recorder; the simulator
 // calls this at construction when Config.Obs is set.
@@ -205,8 +218,15 @@ func (c *WLCache) ExtraStats() stats.DesignExtra {
 // and the energy drawn, split by category.
 func (c *WLCache) Access(now int64, op isa.Op, addr uint32, val uint32) (uint32, int64, energy.Breakdown) {
 	var eb energy.Breakdown
+	v, t := c.AccessEB(now, op, addr, val, &eb)
+	return v, t, eb
+}
+
+// AccessEB is Access with the breakdown written into *eb instead of
+// returned by value (sim.EBAccessor fast path).
+func (c *WLCache) AccessEB(now int64, op isa.Op, addr uint32, val uint32, eb *energy.Breakdown) (uint32, int64) {
 	c.drainACKs(now)
-	eb.CacheRead += c.cfg.Tech.ReplacementEnergy[c.cfg.CachePolicy]
+	eb.CacheRead += c.replE
 
 	lineAddr := c.arr.LineAddr(addr)
 	ln, hit := c.arr.Lookup(addr)
@@ -214,12 +234,12 @@ func (c *WLCache) Access(now int64, op isa.Op, addr uint32, val uint32) (uint32,
 		if hit {
 			c.arr.Touch(ln)
 			eb.CacheRead += c.cfg.Tech.ReadEnergy
-			return ln.Data[c.arr.WordIndex(addr)], now + c.cfg.Tech.HitLatency, eb
+			return ln.Data[c.arr.WordIndex(addr)], now + c.cfg.Tech.HitLatency
 		}
 		t := now + c.cfg.Tech.ProbeLatency
 		eb.CacheRead += c.cfg.Tech.ProbeEnergy
-		ln, t = c.fill(t, lineAddr, &eb)
-		return ln.Data[c.arr.WordIndex(addr)], t, eb
+		ln, t = c.fill(t, lineAddr, eb)
+		return ln.Data[c.arr.WordIndex(addr)], t
 	}
 
 	// Store (write-allocate, write-back).
@@ -227,12 +247,12 @@ func (c *WLCache) Access(now int64, op isa.Op, addr uint32, val uint32) (uint32,
 	if !hit {
 		t += c.cfg.Tech.ProbeLatency
 		eb.CacheWrite += c.cfg.Tech.ProbeEnergy
-		ln, t = c.fill(t, lineAddr, &eb)
+		ln, t = c.fill(t, lineAddr, eb)
 	}
 	if !ln.Dirty {
 		// Clean->dirty transition: take a DirtyQueue slot, stalling at
 		// the maxline bound (§5.1).
-		t = c.ensureSlot(t, lineAddr, &eb)
+		t = c.ensureSlot(t, lineAddr, eb)
 		// The stall may have evicted nothing, but time passed; the
 		// line cannot have been evicted (no fills happen while
 		// stalled), so ln remains valid.
@@ -255,11 +275,11 @@ func (c *WLCache) Access(now int64, op isa.Op, addr uint32, val uint32) (uint32,
 	// Past the waterline, clean one line asynchronously (§3.1); the
 	// write-back overlaps subsequent execution (ILP).
 	for c.dirty > c.waterline {
-		if !c.issueWriteback(t, &eb) {
+		if !c.issueWriteback(t, eb) {
 			break
 		}
 	}
-	return val, t, eb
+	return val, t
 }
 
 // fill brings lineAddr into the cache at time t, evicting (and
@@ -335,6 +355,9 @@ func (c *WLCache) tryDynamicRaise(t int64) bool {
 	c.maxline++
 	c.waterline = c.maxline - 1
 	c.extra.Reconfigs++
+	if c.reserveChanged != nil {
+		c.reserveChanged()
+	}
 	c.rec.Adapt(t, c.maxline-1, c.maxline, true)
 	return true
 }
@@ -446,9 +469,18 @@ func (c *WLCache) insertInflight(w inflightWB) {
 // dropped ACK (fault injection) leaves its entry in the queue; the
 // stale-entry discard of §5.4 reclaims the slot later.
 func (c *WLCache) drainACKs(now int64) {
-	for len(c.inflight) > 0 && c.inflight[0].done <= now {
-		w := c.inflight[0]
-		c.inflight = c.inflight[1:]
+	// Fast path (inlinable): nothing in flight, or nothing due yet.
+	if len(c.inflight) == 0 || c.inflight[0].done > now {
+		return
+	}
+	c.drainACKsSlow(now)
+}
+
+func (c *WLCache) drainACKsSlow(now int64) {
+	n := 0
+	for n < len(c.inflight) && c.inflight[n].done <= now {
+		w := c.inflight[n]
+		n++
 		if c.ackFilter != nil && !c.ackFilter(w.id, w.addr) {
 			c.extra.DroppedACKs++
 			c.rec.WritebackDropped(w.done, w.addr)
@@ -456,6 +488,12 @@ func (c *WLCache) drainACKs(now int64) {
 		}
 		c.dq.RemoveID(w.id)
 		c.rec.WritebackACK(w.issued, w.done, w.addr)
+	}
+	if n > 0 {
+		// Copy-down instead of reslicing forward so the backing array is
+		// reused rather than leaked one element at a time.
+		m := copy(c.inflight, c.inflight[n:])
+		c.inflight = c.inflight[:m]
 	}
 }
 
@@ -522,12 +560,18 @@ func (c *WLCache) OnBoot(lastOn, prevOn int64) {
 		return
 	}
 	newMax := c.adaptive.NextMaxline(lastOn, prevOn)
-	if newMax != c.maxline {
+	changed := newMax != c.maxline
+	if changed {
 		c.extra.Reconfigs++
 		c.rec.Adapt(c.lastRestore, c.maxline, newMax, false)
 	}
 	c.maxline = newMax
 	c.waterline = newMax - 1
+	// Notify after the thresholds are in place so the listener reads the
+	// new ReserveEnergy, not the outgoing one.
+	if changed && c.reserveChanged != nil {
+		c.reserveChanged()
+	}
 }
 
 // DurableEqual verifies whole-system persistence after a checkpoint:

@@ -37,14 +37,20 @@ func (d *NoCache) Name() string { return "NoCache" }
 // Access forwards every operation to the NVM.
 func (d *NoCache) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64, energy.Breakdown) {
 	var eb energy.Breakdown
+	v, done := d.AccessEB(now, op, addr, val, &eb)
+	return v, done, eb
+}
+
+// AccessEB is the pointer-breakdown fast path (sim.EBAccessor).
+func (d *NoCache) AccessEB(now int64, op isa.Op, addr, val uint32, eb *energy.Breakdown) (uint32, int64) {
 	if op == isa.OpLoad {
 		v, done, e := d.nvm.ReadWord(now, addr)
 		eb.MemRead += e
-		return v, done, eb
+		return v, done
 	}
 	done, e := d.nvm.WriteWord(now, addr, val)
 	eb.MemWrite += e
-	return val, done, eb
+	return val, done
 }
 
 // Checkpoint persists the register file to NVFF.

@@ -50,13 +50,19 @@ func (d *EagerWB) Array() *cache.Array { return d.wb.arr }
 // been idle for a while, opportunistically flushes one dirty line.
 func (d *EagerWB) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64, energy.Breakdown) {
 	var eb energy.Breakdown
+	v, done := d.AccessEB(now, op, addr, val, &eb)
+	return v, done, eb
+}
+
+// AccessEB is the pointer-breakdown fast path (sim.EBAccessor).
+func (d *EagerWB) AccessEB(now int64, op isa.Op, addr, val uint32, eb *energy.Breakdown) (uint32, int64) {
 	// Bus idleness is judged before this access touches the port.
 	idle := now-d.wb.nvm.BusyUntil() >= d.idleWindow
-	v, done := d.wb.access(now, op, addr, val, &eb)
+	v, done := d.wb.access(now, op, addr, val, eb)
 	if idle {
-		d.flushOne(done, &eb)
+		d.flushOne(done, eb)
 	}
-	return v, done, eb
+	return v, done
 }
 
 // flushOne writes back the first dirty line found (bus-idle flush).

@@ -31,8 +31,13 @@ func (d *NVCacheWB) Array() *cache.Array { return d.wb.arr }
 // Access is a conventional write-back access at NVRAM speed.
 func (d *NVCacheWB) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64, energy.Breakdown) {
 	var eb energy.Breakdown
-	v, done := d.wb.access(now, op, addr, val, &eb)
+	v, done := d.AccessEB(now, op, addr, val, &eb)
 	return v, done, eb
+}
+
+// AccessEB is the pointer-breakdown fast path (sim.EBAccessor).
+func (d *NVCacheWB) AccessEB(now int64, op isa.Op, addr, val uint32, eb *energy.Breakdown) (uint32, int64) {
+	return d.wb.access(now, op, addr, val, eb)
 }
 
 // Checkpoint persists registers only: the cache is non-volatile.

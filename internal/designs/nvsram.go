@@ -66,8 +66,13 @@ func (d *NVSRAM) Array() *cache.Array { return d.wb.arr }
 // Access is a conventional write-back access at SRAM speed.
 func (d *NVSRAM) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64, energy.Breakdown) {
 	var eb energy.Breakdown
-	v, done := d.wb.access(now, op, addr, val, &eb)
+	v, done := d.AccessEB(now, op, addr, val, &eb)
 	return v, done, eb
+}
+
+// AccessEB is the pointer-breakdown fast path (sim.EBAccessor).
+func (d *NVSRAM) AccessEB(now int64, op isa.Op, addr, val uint32, eb *energy.Breakdown) (uint32, int64) {
+	return d.wb.access(now, op, addr, val, eb)
 }
 
 // Checkpoint copies every dirty line into the NV twin (ideal variant:

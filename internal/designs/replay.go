@@ -71,16 +71,22 @@ func (d *ReplayCache) Array() *cache.Array { return d.wb.arr }
 // ends the region: execution drains the NVM port.
 func (d *ReplayCache) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64, energy.Breakdown) {
 	var eb energy.Breakdown
+	v, done := d.AccessEB(now, op, addr, val, &eb)
+	return v, done, eb
+}
+
+// AccessEB is the pointer-breakdown fast path (sim.EBAccessor).
+func (d *ReplayCache) AccessEB(now int64, op isa.Op, addr, val uint32, eb *energy.Breakdown) (uint32, int64) {
 	var v uint32
 	var done int64
 	if op == isa.OpLoad {
-		v, done = d.wb.access(now, op, addr, val, &eb)
+		v, done = d.wb.access(now, op, addr, val, eb)
 	} else {
 		// Stores are persisted through to NVM, so there is no point
 		// allocating on a miss, and a cached copy is updated in place
 		// but left clean (no eviction write-back will ever be needed).
 		v, done = val, now
-		eb.CacheWrite += d.wb.tech.ReplacementEnergy[d.wb.arr.Policy()]
+		eb.CacheWrite += d.wb.replE
 		if ln, ok := d.wb.arr.Lookup(addr); ok {
 			ln.Data[d.wb.arr.WordIndex(addr)] = val
 			ln.Dirty = false
@@ -109,7 +115,7 @@ func (d *ReplayCache) Access(now int64, op isa.Op, addr, val uint32) (uint32, in
 		}
 	}
 	d.lastEventTime = done
-	return v, done, eb
+	return v, done
 }
 
 // Checkpoint persists registers only; pending region work is simply

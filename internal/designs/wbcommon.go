@@ -15,6 +15,7 @@ type wbCache struct {
 	arr     *cache.Array
 	tech    cache.Tech
 	nvm     *mem.NVM
+	replE   float64 // tech.ReplacementEnergy[policy], hoisted off the access path
 	lineBuf []uint32
 }
 
@@ -23,13 +24,14 @@ func newWBCache(geo cache.Geometry, tech cache.Tech, pol cache.ReplacementPolicy
 		arr:     cache.NewArray(geo, pol),
 		tech:    tech,
 		nvm:     nvm,
+		replE:   tech.ReplacementEnergy[pol],
 		lineBuf: make([]uint32, geo.LineWords()),
 	}
 }
 
 // access performs one conventional write-back access.
 func (c *wbCache) access(now int64, op isa.Op, addr, val uint32, eb *energy.Breakdown) (uint32, int64) {
-	eb.CacheRead += c.tech.ReplacementEnergy[c.arr.Policy()]
+	eb.CacheRead += c.replE
 	lineAddr := c.arr.LineAddr(addr)
 	ln, hit := c.arr.Lookup(addr)
 	t := now

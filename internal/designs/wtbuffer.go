@@ -59,6 +59,7 @@ type WTBuffer struct {
 	nvm     *mem.NVM
 	jit     energy.JITCosts
 	params  WTBufferParams
+	replE   float64 // tech.ReplacementEnergy[policy], hoisted off the access path
 	buf     []wtBufEntry
 	lineBuf []uint32
 	extra   stats.DesignExtra
@@ -80,6 +81,7 @@ func NewWTBuffer(geo cache.Geometry, tech cache.Tech, pol cache.ReplacementPolic
 		nvm:     nvm,
 		jit:     jit,
 		params:  params,
+		replE:   tech.ReplacementEnergy[pol],
 		lineBuf: make([]uint32, geo.LineWords()),
 	}
 }
@@ -102,8 +104,14 @@ func (d *WTBuffer) drain(now int64) {
 // queues stores into the buffer.
 func (d *WTBuffer) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64, energy.Breakdown) {
 	var eb energy.Breakdown
+	v, done := d.AccessEB(now, op, addr, val, &eb)
+	return v, done, eb
+}
+
+// AccessEB is the pointer-breakdown fast path (sim.EBAccessor).
+func (d *WTBuffer) AccessEB(now int64, op isa.Op, addr, val uint32, eb *energy.Breakdown) (uint32, int64) {
 	d.drain(now)
-	eb.CacheRead += d.tech.ReplacementEnergy[d.arr.Policy()]
+	eb.CacheRead += d.replE
 
 	if op == isa.OpLoad {
 		// Every load searches the CAM first (§3.3): the youngest
@@ -112,14 +120,14 @@ func (d *WTBuffer) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64
 		eb.CacheRead += d.params.CAMSearchEnergy
 		for i := len(d.buf) - 1; i >= 0; i-- {
 			if d.buf[i].addr == addr {
-				return d.buf[i].val, t + d.tech.HitLatency, eb
+				return d.buf[i].val, t + d.tech.HitLatency
 			}
 		}
 		ln, hit := d.arr.Lookup(addr)
 		if hit {
 			d.arr.Touch(ln)
 			eb.CacheRead += d.tech.ReadEnergy
-			return ln.Data[d.arr.WordIndex(addr)], t + d.tech.HitLatency, eb
+			return ln.Data[d.arr.WordIndex(addr)], t + d.tech.HitLatency
 		}
 		t += d.tech.ProbeLatency
 		eb.CacheRead += d.tech.ProbeEnergy
@@ -136,7 +144,7 @@ func (d *WTBuffer) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64
 		}
 		d.arr.Fill(victim, lineAddr, d.lineBuf)
 		ln, _ = d.arr.Lookup(lineAddr)
-		return ln.Data[d.arr.WordIndex(addr)], done, eb
+		return ln.Data[d.arr.WordIndex(addr)], done
 	}
 
 	// Store: update the cached copy on a hit, then take a buffer slot,
@@ -166,7 +174,7 @@ func (d *WTBuffer) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64
 	eb.MemWrite += e
 	d.buf = append(d.buf, wtBufEntry{addr: addr, val: val, done: done})
 	d.extra.Writebacks++
-	return val, t, eb
+	return val, t
 }
 
 // Checkpoint flushes the buffer (its writes were already issued to

@@ -18,6 +18,7 @@ type VCacheWT struct {
 	tech    cache.Tech
 	nvm     *mem.NVM
 	jit     energy.JITCosts
+	replE   float64 // tech.ReplacementEnergy[policy], hoisted off the access path
 	lineBuf []uint32
 }
 
@@ -28,6 +29,7 @@ func NewVCacheWT(geo cache.Geometry, tech cache.Tech, pol cache.ReplacementPolic
 		tech:    tech,
 		nvm:     nvm,
 		jit:     jit,
+		replE:   tech.ReplacementEnergy[pol],
 		lineBuf: make([]uint32, geo.LineWords()),
 	}
 }
@@ -41,7 +43,13 @@ func (d *VCacheWT) Array() *cache.Array { return d.arr }
 // Access serves loads from the cache and writes stores through to NVM.
 func (d *VCacheWT) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64, energy.Breakdown) {
 	var eb energy.Breakdown
-	eb.CacheRead += d.tech.ReplacementEnergy[d.arr.Policy()]
+	v, done := d.AccessEB(now, op, addr, val, &eb)
+	return v, done, eb
+}
+
+// AccessEB is the pointer-breakdown fast path (sim.EBAccessor).
+func (d *VCacheWT) AccessEB(now int64, op isa.Op, addr, val uint32, eb *energy.Breakdown) (uint32, int64) {
+	eb.CacheRead += d.replE
 	lineAddr := d.arr.LineAddr(addr)
 	ln, hit := d.arr.Lookup(addr)
 
@@ -49,7 +57,7 @@ func (d *VCacheWT) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64
 		if hit {
 			d.arr.Touch(ln)
 			eb.CacheRead += d.tech.ReadEnergy
-			return ln.Data[d.arr.WordIndex(addr)], now + d.tech.HitLatency, eb
+			return ln.Data[d.arr.WordIndex(addr)], now + d.tech.HitLatency
 		}
 		t := now + d.tech.ProbeLatency
 		eb.CacheRead += d.tech.ProbeEnergy
@@ -58,7 +66,7 @@ func (d *VCacheWT) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64
 		eb.MemRead += e
 		d.arr.Fill(victim, lineAddr, d.lineBuf)
 		ln, _ = d.arr.Lookup(lineAddr)
-		return ln.Data[d.arr.WordIndex(addr)], done, eb
+		return ln.Data[d.arr.WordIndex(addr)], done
 	}
 
 	// Store: update the cached copy on a hit (no-write-allocate on a
@@ -75,7 +83,7 @@ func (d *VCacheWT) Access(now int64, op isa.Op, addr, val uint32) (uint32, int64
 	}
 	done, e := d.nvm.WriteWord(t, addr, val)
 	eb.MemWrite += e
-	return val, done, eb
+	return val, done
 }
 
 // Checkpoint persists registers only: the write-through policy keeps

@@ -91,9 +91,16 @@ func (c *Capacitor) VMax() float64 { return c.vMax }
 // consulted after every voltage change.
 func (c *Capacitor) SetSampler(s VoltageSampler) { c.sampler = s }
 
-// SetVoltage forces the voltage (initialization/boot).
+// SetVoltage forces the voltage (initialization/boot), clamped to
+// [0, vMax].
 func (c *Capacitor) SetVoltage(v float64) {
-	c.v = math.Min(math.Max(v, 0), c.vMax)
+	if v < 0 {
+		v = 0
+	}
+	if v > c.vMax {
+		v = c.vMax
+	}
+	c.v = v
 	if c.sampler != nil {
 		c.sampler.Sample(c.v)
 	}
@@ -113,8 +120,24 @@ func (c *Capacitor) EnergyAbove(vFloor float64) float64 {
 
 // Draw removes e joules. The voltage clamps at zero; callers enforce
 // operating thresholds (the voltage monitor, not the capacitor, knows
-// about Vbackup).
+// about Vbackup). The body is split so the common case — non-negative
+// draw, no sampler — stays within the inlining budget of the
+// simulator's per-event loop; drawSlow performs the identical
+// arithmetic for the instrumented/error cases.
 func (c *Capacitor) Draw(e float64) {
+	if e < 0 || c.sampler != nil {
+		c.drawSlow(e)
+		return
+	}
+	rem := c.v*c.v - 2*e/c.c
+	if rem <= 0 {
+		c.v = 0
+	} else {
+		c.v = math.Sqrt(rem)
+	}
+}
+
+func (c *Capacitor) drawSlow(e float64) {
 	if e < 0 {
 		panic("energy: negative draw")
 	}
@@ -138,20 +161,71 @@ func (c *Capacitor) Draw(e float64) {
 func (c *Capacitor) DrawGuarded(e, vFloor float64) error {
 	c.Draw(e)
 	if c.v < vFloor-1e-9 {
-		return fmt.Errorf("%w: %.4f V after drawing %.3g J (floor %.4f V)",
-			ErrUnderVoltage, c.v, e, vFloor)
+		return c.UnderVoltageError(e, vFloor)
 	}
 	return nil
 }
 
+// UnderVoltageError formats the ErrUnderVoltage for a draw of e joules
+// that left the capacitor below vFloor (shared by DrawGuarded and the
+// simulator's Step-based fast path so the message stays identical).
+func (c *Capacitor) UnderVoltageError(e, vFloor float64) error {
+	return fmt.Errorf("%w: %.4f V after drawing %.3g J (floor %.4f V)",
+		ErrUnderVoltage, c.v, e, vFloor)
+}
+
+// Step applies one simulation event: harvest h joules, then draw e
+// joules — arithmetically identical to Harvest(h) followed by Draw(e),
+// fused into a single call for the simulator's per-event loop. It
+// reports false when guard is set and the resulting voltage fell below
+// vFloor (the DrawGuarded predicate); the draw is applied either way.
+func (c *Capacitor) Step(h, e, vFloor float64, guard bool) bool {
+	if h < 0 || e < 0 || c.sampler != nil {
+		return c.stepSlow(h, e, vFloor, guard)
+	}
+	v := math.Sqrt(c.v*c.v + 2*h/c.c)
+	if v > c.vMax {
+		v = c.vMax
+	}
+	rem := v*v - 2*e/c.c
+	if rem <= 0 {
+		v = 0
+	} else {
+		v = math.Sqrt(rem)
+	}
+	c.v = v
+	return !guard || v >= vFloor-1e-9
+}
+
+func (c *Capacitor) stepSlow(h, e, vFloor float64, guard bool) bool {
+	c.Harvest(h)
+	c.Draw(e)
+	return !guard || c.v >= vFloor-1e-9
+}
+
 // Harvest adds e joules, clamping at vMax (excess harvest is shed, as
-// in a real regulator).
+// in a real regulator). Split like Draw so the common case inlines.
 func (c *Capacitor) Harvest(e float64) {
+	if e < 0 || c.sampler != nil {
+		c.harvestSlow(e)
+		return
+	}
+	v := math.Sqrt(c.v*c.v + 2*e/c.c)
+	if v > c.vMax {
+		v = c.vMax
+	}
+	c.v = v
+}
+
+func (c *Capacitor) harvestSlow(e float64) {
 	if e < 0 {
 		panic("energy: negative harvest")
 	}
-	v2 := c.v*c.v + 2*e/c.c
-	c.v = math.Min(math.Sqrt(v2), c.vMax)
+	v := math.Sqrt(c.v*c.v + 2*e/c.c)
+	if v > c.vMax {
+		v = c.vMax
+	}
+	c.v = v
 	if c.sampler != nil {
 		c.sampler.Sample(c.v)
 	}

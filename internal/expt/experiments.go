@@ -89,28 +89,40 @@ type cell struct {
 	optional bool
 }
 
-// runCells executes all cells with bounded parallelism and returns
-// results keyed by index.
+// runCells executes all cells on a fixed pool of ctx.Parallelism
+// worker goroutines draining an index channel, and returns results
+// keyed by index. A fixed pool (rather than one goroutine per cell
+// gated by a semaphore) keeps goroutine count — and therefore
+// scheduler and stack-allocation load — independent of the matrix
+// size; large sweeps enqueue thousands of cells.
 func runCells(ctx Context, cells []cell) ([]sim.Result, error) {
 	ctx = ctx.normalize()
 	results := make([]sim.Result, len(cells))
 	errs := make([]error, len(cells))
-	sem := make(chan struct{}, ctx.Parallelism)
-	var wg sync.WaitGroup
-	for i := range cells {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c := cells[i]
-			cfg := ctx.simConfig()
-			if c.simFn != nil {
-				c.simFn(&cfg)
-			}
-			results[i], errs[i] = Run(c.kind, c.opts, c.wl, ctx.Scale, c.src, cfg)
-		}(i)
+	workers := ctx.Parallelism
+	if workers > len(cells) {
+		workers = len(cells)
 	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := cells[i]
+				cfg := ctx.simConfig()
+				if c.simFn != nil {
+					c.simFn(&cfg)
+				}
+				results[i], errs[i] = Run(c.kind, c.opts, c.wl, ctx.Scale, c.src, cfg)
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {

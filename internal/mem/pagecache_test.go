@@ -1,0 +1,163 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveReadLine is the pre-page-aware reference: one full address
+// resolution per word.
+func naiveReadLine(s *Store, addr uint32, dst []uint32) {
+	for i := range dst {
+		dst[i] = s.Read(addr + uint32(i*4))
+	}
+}
+
+// naiveWriteLine mirrors naiveReadLine for stores.
+func naiveWriteLine(s *Store, addr uint32, src []uint32) {
+	for i, v := range src {
+		s.Write(addr+uint32(i*4), v)
+	}
+}
+
+// TestStorePropertyRandomOps drives a Store with a random mix of word
+// and line operations against a flat map model and a second Store fed
+// exclusively through the naive per-word paths. The one-entry page
+// cache and the run-based line paths must be invisible.
+func TestStorePropertyRandomOps(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	s := NewStore()
+	naive := NewStore()
+	model := map[uint32]uint32{}
+
+	// Cluster addresses around a few pages (to exercise the cache) plus
+	// a uniform tail (to exercise misses and page switches).
+	randAddr := func() uint32 {
+		if r.Intn(4) > 0 {
+			base := uint32(r.Intn(4)) << pageShift
+			return base + uint32(r.Intn(pageWords))<<2
+		}
+		return uint32(r.Intn(1<<20)) << 2
+	}
+
+	buf := make([]uint32, 64)
+	for i := 0; i < 200_000; i++ {
+		switch r.Intn(6) {
+		case 0, 1: // word write
+			a, v := randAddr(), r.Uint32()
+			s.Write(a, v)
+			naive.Write(a, v)
+			model[a] = v
+		case 2, 3: // word read
+			a := randAddr()
+			if got, want := s.Read(a), model[a]; got != want {
+				t.Fatalf("op %d: Read(%#x) = %#x, want %#x", i, a, got, want)
+			}
+		case 4: // line write (random length, may span a page boundary)
+			n := 1 + r.Intn(len(buf))
+			a := randAddr()
+			for j := 0; j < n; j++ {
+				buf[j] = r.Uint32()
+			}
+			s.WriteLine(a, buf[:n])
+			naiveWriteLine(naive, a, buf[:n])
+			for j := 0; j < n; j++ {
+				model[a+uint32(j*4)] = buf[j]
+			}
+		default: // line read
+			n := 1 + r.Intn(len(buf))
+			a := randAddr()
+			s.ReadLine(a, buf[:n])
+			for j := 0; j < n; j++ {
+				if want := model[a+uint32(j*4)]; buf[j] != want {
+					t.Fatalf("op %d: ReadLine(%#x)[%d] = %#x, want %#x", i, a, j, buf[j], want)
+				}
+			}
+		}
+	}
+	if d := s.FirstDiff(naive); d != "" {
+		t.Fatalf("page-aware store diverged from naive store: %s", d)
+	}
+}
+
+// TestStoreLineSpansPages pins the page-boundary split in the run-based
+// line paths: a line written across a boundary must land in both pages
+// and read back through both the fast path and the per-word path.
+func TestStoreLineSpansPages(t *testing.T) {
+	s := NewStore()
+	const words = 16
+	// Start 8 words before the end of page 2.
+	addr := uint32(3)<<pageShift - 8*4
+	src := make([]uint32, words)
+	for i := range src {
+		src[i] = 0xA0000000 + uint32(i)
+	}
+	s.WriteLine(addr, src)
+
+	got := make([]uint32, words)
+	s.ReadLine(addr, got)
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("ReadLine[%d] = %#x, want %#x", i, got[i], src[i])
+		}
+		if v := s.Read(addr + uint32(i*4)); v != src[i] {
+			t.Fatalf("Read(%#x) = %#x, want %#x", addr+uint32(i*4), v, src[i])
+		}
+	}
+
+	// Reading a line that starts in an allocated page and runs into an
+	// untouched one must zero-fill the tail.
+	s.Write(uint32(9)<<pageShift-4, 0xBEEF) // last word of page 8; page 9 untouched
+	tail := make([]uint32, words)
+	for i := range tail {
+		tail[i] = 0xFF // stale garbage that must be overwritten
+	}
+	s.ReadLine(uint32(9)<<pageShift-4, tail)
+	if tail[0] != 0xBEEF {
+		t.Fatalf("tail[0] = %#x, want 0xBEEF", tail[0])
+	}
+	for i := 1; i < words; i++ {
+		if tail[i] != 0 {
+			t.Fatalf("tail[%d] = %#x, want zero fill", i, tail[i])
+		}
+	}
+}
+
+// TestStoreResetInvalidatesPageCache is the regression test for the
+// one-entry cache surviving a Reset: a read after Reset must miss, and
+// a write after Reset must not scribble on the discarded page.
+func TestStoreResetInvalidatesPageCache(t *testing.T) {
+	s := NewStore()
+	s.Write(0x1000, 42) // caches page 1
+	old := s.lastPage
+	s.Reset()
+	if s.lastPage != nil {
+		t.Fatal("Reset left the page cache populated")
+	}
+	if v := s.Read(0x1000); v != 0 {
+		t.Fatalf("Read after Reset = %d, want 0", v)
+	}
+	s.Write(0x1000, 7)
+	if old != nil && old[0x1000>>2&(pageWords-1)] == 7 {
+		t.Fatal("write after Reset landed in the discarded page")
+	}
+	if v := s.Read(0x1000); v != 7 {
+		t.Fatalf("Read = %d, want 7", v)
+	}
+}
+
+// TestStoreCloneIndependentOfPageCache: mutating a clone must never
+// show through the original's cached page (and vice versa).
+func TestStoreCloneIndependentOfPageCache(t *testing.T) {
+	s := NewStore()
+	s.Write(0x2000, 1) // caches page 2 in s
+	c := s.Clone()
+	c.Write(0x2000, 9)
+	if v := s.Read(0x2000); v != 1 {
+		t.Fatalf("original sees clone's write: %d", v)
+	}
+	s.Write(0x2000, 5)
+	if v := c.Read(0x2000); v != 9 {
+		t.Fatalf("clone sees original's write: %d", v)
+	}
+}

@@ -14,8 +14,16 @@ const (
 // Store is a sparse word-addressable value image. The zero value is an
 // empty store in which every word reads as zero. Store has no timing;
 // it is the raw data substrate shared by NVM images and cache lines.
+//
+// A one-entry last-page cache short-circuits the page-map lookup:
+// simulated access streams have strong page locality, so most word
+// accesses and virtually all line accesses resolve without touching
+// the map.
 type Store struct {
 	pages map[uint32]*[pageWords]uint32
+
+	lastIdx  uint32
+	lastPage *[pageWords]uint32
 }
 
 // NewStore returns an empty store.
@@ -23,10 +31,38 @@ func NewStore() *Store {
 	return &Store{pages: make(map[uint32]*[pageWords]uint32)}
 }
 
+// page returns the page holding addr, consulting the last-page cache
+// first; nil when the page does not exist.
+func (s *Store) page(idx uint32) *[pageWords]uint32 {
+	if p := s.lastPage; p != nil && s.lastIdx == idx {
+		return p
+	}
+	p := s.pages[idx]
+	if p != nil {
+		s.lastIdx, s.lastPage = idx, p
+	}
+	return p
+}
+
+// ensurePage returns the page holding addr, allocating it on first
+// write.
+func (s *Store) ensurePage(idx uint32) *[pageWords]uint32 {
+	if p := s.lastPage; p != nil && s.lastIdx == idx {
+		return p
+	}
+	p := s.pages[idx]
+	if p == nil {
+		p = new([pageWords]uint32)
+		s.pages[idx] = p
+	}
+	s.lastIdx, s.lastPage = idx, p
+	return p
+}
+
 // Read returns the word at byte address addr (must be 4-byte aligned).
 func (s *Store) Read(addr uint32) uint32 {
 	checkAlign(addr)
-	p := s.pages[addr>>pageShift]
+	p := s.page(addr >> pageShift)
 	if p == nil {
 		return 0
 	}
@@ -36,26 +72,43 @@ func (s *Store) Read(addr uint32) uint32 {
 // Write sets the word at byte address addr (must be 4-byte aligned).
 func (s *Store) Write(addr uint32, v uint32) {
 	checkAlign(addr)
-	idx := addr >> pageShift
-	p := s.pages[idx]
-	if p == nil {
-		p = new([pageWords]uint32)
-		s.pages[idx] = p
-	}
-	p[(addr>>2)&(pageWords-1)] = v
+	s.ensurePage(addr >> pageShift)[(addr>>2)&(pageWords-1)] = v
 }
 
-// ReadLine copies the n words starting at byte address addr into dst.
+// ReadLine copies the n words starting at byte address addr into dst,
+// resolving each page once per contiguous run instead of once per word
+// (a cache line never spans pages, so this is one resolution per call).
 func (s *Store) ReadLine(addr uint32, dst []uint32) {
-	for i := range dst {
-		dst[i] = s.Read(addr + uint32(i*4))
+	checkAlign(addr)
+	for len(dst) > 0 {
+		w := (addr >> 2) & (pageWords - 1)
+		n := uint32(pageWords) - w
+		if n > uint32(len(dst)) {
+			n = uint32(len(dst))
+		}
+		if p := s.page(addr >> pageShift); p != nil {
+			copy(dst[:n], p[w:w+n])
+		} else {
+			clear(dst[:n])
+		}
+		dst = dst[n:]
+		addr += n * 4
 	}
 }
 
-// WriteLine stores the words in src starting at byte address addr.
+// WriteLine stores the words in src starting at byte address addr,
+// resolving each page once per contiguous run.
 func (s *Store) WriteLine(addr uint32, src []uint32) {
-	for i, v := range src {
-		s.Write(addr+uint32(i*4), v)
+	checkAlign(addr)
+	for len(src) > 0 {
+		w := (addr >> 2) & (pageWords - 1)
+		n := uint32(pageWords) - w
+		if n > uint32(len(src)) {
+			n = uint32(len(src))
+		}
+		copy(s.ensurePage(addr >> pageShift)[w:w+n], src[:n])
+		src = src[n:]
+		addr += n * 4
 	}
 }
 
@@ -119,6 +172,7 @@ func (s *Store) Clone() *Store {
 // Reset discards all contents.
 func (s *Store) Reset() {
 	s.pages = make(map[uint32]*[pageWords]uint32)
+	s.lastIdx, s.lastPage = 0, nil
 }
 
 func checkAlign(addr uint32) {

@@ -194,9 +194,9 @@ func BuildSpans(tr *Trace, meta RunMeta, totalPS int64) SpanSet {
 		spans = append(spans, &sp)
 		return spans[len(spans)-1]
 	}
-	wbByKey := map[wbKey]*Span{}   // issue (ts, addr) → span
-	wbByEnd := map[int64]*Span{}   // ACK arrival time → span (release lookup)
-	openWBs := map[wbKey]*Span{}   // issued, no ACK seen yet
+	wbByKey := map[wbKey]*Span{} // issue (ts, addr) → span
+	wbByEnd := map[int64]*Span{} // ACK arrival time → span (release lookup)
+	openWBs := map[wbKey]*Span{} // issued, no ACK seen yet
 	for _, e := range evs {
 		if e.TS >= totalPS && totalPS > 0 {
 			continue

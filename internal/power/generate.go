@@ -3,6 +3,7 @@ package power
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Source names the built-in synthetic traces matching the paper's
@@ -28,12 +29,33 @@ const (
 // Sources lists every built-in source with power failures.
 func Sources() []Source { return []Source{Trace1, Trace2, Trace3, Solar, Thermal} }
 
+// builtins memoizes the synthetic traces: synthesizing 20k samples per
+// sweep cell used to be pure overhead, and the traces are deterministic
+// and never mutated, so every simulation shares one read-only instance.
+var (
+	builtinMu sync.Mutex
+	builtins  = map[Source]*Trace{}
+)
+
 // Get returns the built-in trace for src, or nil for None. It panics
-// on an unknown source (a configuration bug).
+// on an unknown source (a configuration bug). The returned trace is
+// shared and must be treated as read-only.
 func Get(src Source) *Trace {
-	switch src {
-	case None:
+	if src == None {
 		return nil
+	}
+	builtinMu.Lock()
+	defer builtinMu.Unlock()
+	if t, ok := builtins[src]; ok {
+		return t
+	}
+	t := synthesize(src)
+	builtins[src] = t
+	return t
+}
+
+func synthesize(src Source) *Trace {
+	switch src {
 	case Trace1:
 		return SynthesizeRF("tr1", 1, 13.0e-3, 0.55, 0.06)
 	case Trace2:
@@ -81,7 +103,9 @@ func SynthesizeRF(name string, seed int64, mean, vol, deadP float64) *Trace {
 		}
 		s[i] = level
 	}
-	return &Trace{Name: name, Step: genStep, Samples: s}
+	t := &Trace{Name: name, Step: genStep, Samples: s}
+	t.Reindex()
+	return t
 }
 
 // SynthesizeSmooth builds a strong stable source (solar/thermal): a
@@ -97,5 +121,7 @@ func SynthesizeSmooth(name string, seed int64, mean, vol float64) *Trace {
 		}
 		s[i] = v
 	}
-	return &Trace{Name: name, Step: genStep, Samples: s}
+	t := &Trace{Name: name, Step: genStep, Samples: s}
+	t.Reindex()
+	return t
 }

@@ -57,6 +57,27 @@ type EnergyProbeBinder interface {
 	BindEnergyProbe(func(newReserve float64) bool)
 }
 
+// EBAccessor is an optional fast-path counterpart of Design.Access:
+// the design writes its energy breakdown into *eb instead of returning
+// the 64-byte struct by value, sparing one copy per simulated memory
+// operation. Implementations must perform arithmetic identical to
+// Access (designs typically implement Access as a thin wrapper over
+// AccessEB); the simulator uses AccessEB when available.
+type EBAccessor interface {
+	AccessEB(now int64, op isa.Op, addr uint32, val uint32, eb *energy.Breakdown) (v uint32, done int64)
+}
+
+// ReserveNotifyBinder is implemented by designs whose ReserveEnergy
+// changes while running (adaptive WL-Cache raising maxline). The
+// simulator caches the Vbackup threshold between events and installs a
+// callback here; the design must invoke it after every reserve change
+// so the voltage monitor never compares against a stale threshold.
+// (Boot-time changes are additionally covered by an unconditional
+// refresh after OnBoot.)
+type ReserveNotifyBinder interface {
+	BindReserveChanged(func())
+}
+
 // ObserverBinder is implemented by designs that emit their own
 // observability events (store stalls, write-back issue/ACK, DirtyQueue
 // occupancy, threshold adaptation). The simulator binds Config.Obs at

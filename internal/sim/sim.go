@@ -7,6 +7,7 @@ import (
 	"wlcache/internal/energy"
 	"wlcache/internal/isa"
 	"wlcache/internal/mem"
+	"wlcache/internal/power"
 )
 
 // defaultMaxOutages aborts runaway simulations that make no progress.
@@ -28,6 +29,32 @@ type Simulator struct {
 
 	instrAtBoot uint64
 	noProgress  int
+
+	// Hot-path caches, all derived from values that are constant per
+	// run or change only at announced points. cursor integrates the
+	// trace without re-locating the current segment on every event; vb
+	// is Vbackup(design.ReserveEnergy()) — a sqrt — refreshed by
+	// refreshThresholds at reserve changes; leakW, perInstrPS, instrE,
+	// chunkComputeE and chunkFetchE hoist interface calls and products
+	// that are loop-invariant out of access/Compute; trackGolden gates
+	// golden-image maintenance to runs that consult it.
+	cursor        *power.Cursor
+	accessEB      EBAccessor // non-nil when the design supports the out-param fast path
+	vb            float64
+	leakW         float64
+	perInstrPS    int64
+	instrE        float64
+	chunkComputeE float64
+	chunkFetchE   float64
+	trackGolden   bool
+	noFault       bool // cfg.FaultPlan == nil
+	untraced      bool // cfg.Trace == nil
+
+	// ebScratch is the per-event breakdown buffer handed to AccessEB.
+	// Passing a pointer to a local through the interface call would make
+	// the local escape — one heap allocation per simulated access; the
+	// simulator is single-threaded per run, so one reused buffer is safe.
+	ebScratch energy.Breakdown
 
 	// inCheckpoint marks the JIT checkpoint window, during which draws
 	// may legitimately spend the reserve band down toward VMin.
@@ -57,10 +84,28 @@ func New(cfg Config, design Design, nvm *mem.NVM) (*Simulator, error) {
 		cap:    energy.NewCapacitor(cfg.CapacitorF, cfg.VMin, cfg.VMax),
 		golden: mem.NewStore(),
 	}
+	s.perInstrPS = cfg.CyclePS + cfg.ICache.perInstrStall(cfg.CyclePS)
+	s.instrE = cfg.ICache.instrEnergy()
+	s.chunkComputeE = float64(cfg.ComputeChunk) * cfg.InstrEnergy
+	s.chunkFetchE = float64(cfg.ComputeChunk) * s.instrE
+	s.leakW = design.LeakPower()
+	s.trackGolden = cfg.CheckInvariants
+	s.noFault = cfg.FaultPlan == nil
+	s.untraced = cfg.Trace == nil
+	if cfg.Trace != nil {
+		s.cursor = power.NewCursor(cfg.Trace)
+	}
+	if eba, ok := design.(EBAccessor); ok {
+		s.accessEB = eba
+	}
+	s.refreshThresholds()
 	// The initial boot happens with a full capacitor.
 	s.cap.SetVoltage(cfg.VMax)
 	if binder, ok := design.(EnergyProbeBinder); ok {
 		binder.BindEnergyProbe(s.probeReserve)
+	}
+	if binder, ok := design.(ReserveNotifyBinder); ok {
+		binder.BindReserveChanged(s.refreshThresholds)
 	}
 	// Observability wiring: one recorder reaches the capacitor (voltage
 	// gauge), the NVM port (contention histogram) and the design (its
@@ -77,14 +122,26 @@ func New(cfg Config, design Design, nvm *mem.NVM) (*Simulator, error) {
 	// consulted, and even infeasible designs (eager-wb on the default
 	// capacitor, §7) can run for reference and fault audits.
 	if cfg.Trace != nil {
-		vb := cfg.Vbackup(design.ReserveEnergy())
-		if cfg.Von(vb) <= vb {
+		if cfg.Von(s.vb) <= s.vb {
 			return nil, fmt.Errorf("sim: reserve %.3g J needs Vbackup %.3f V, unreachable below VMax %.3f V",
-				design.ReserveEnergy(), vb, cfg.VMax)
+				design.ReserveEnergy(), s.vb, cfg.VMax)
 		}
 	}
 	return s, nil
 }
+
+// refreshThresholds recomputes the cached Vbackup from the design's
+// current reserve. It runs at construction, after every OnBoot, and —
+// via ReserveNotifyBinder — whenever an adaptive design changes its
+// reserve mid-run (dynamic maxline raises), so the cached threshold is
+// never consulted stale.
+func (s *Simulator) refreshThresholds() {
+	s.vb = s.cfg.Vbackup(s.design.ReserveEnergy())
+}
+
+// Vbackup returns the checkpoint threshold currently enforced by the
+// voltage monitor (tests assert it tracks adaptive reserve changes).
+func (s *Simulator) Vbackup() float64 { return s.vb }
 
 // probeReserve reports whether the capacitor currently holds enough
 // charge to adopt a larger JIT reserve (dynamic adaptation).
@@ -168,7 +225,9 @@ func (s *Simulator) Run(name string, program func(m isa.Machine) uint32) (res Re
 	return s.res, nil
 }
 
-// Golden exposes the architectural reference image (tests).
+// Golden exposes the architectural reference image. It is maintained
+// only when Config.CheckInvariants is set (the only mode that consults
+// it); plain benchmark runs skip the per-store bookkeeping.
 func (s *Simulator) Golden() *mem.Store { return s.golden }
 
 // Capacitor exposes the energy buffer (tests).
@@ -181,7 +240,7 @@ func (s *Simulator) Now() int64 { return s.now }
 
 // Load32 performs an architectural load through the design.
 func (s *Simulator) Load32(addr uint32) uint32 {
-	if s.cfg.Obs != nil {
+	if s.cfg.Obs.WantsOpContext() {
 		s.cfg.Obs.OpContext(memOpPC())
 	}
 	v := s.access(isa.OpLoad, addr, 0)
@@ -197,10 +256,12 @@ func (s *Simulator) Load32(addr uint32) uint32 {
 
 // Store32 performs an architectural store through the design.
 func (s *Simulator) Store32(addr uint32, v uint32) {
-	if s.cfg.Obs != nil {
+	if s.cfg.Obs.WantsOpContext() {
 		s.cfg.Obs.OpContext(memOpPC())
 	}
-	s.golden.Write(addr, v)
+	if s.trackGolden {
+		s.golden.Write(addr, v)
+	}
 	s.access(isa.OpStore, addr, v)
 	s.res.Stores++
 }
@@ -211,17 +272,22 @@ func (s *Simulator) Compute(n int) {
 	if n < 0 {
 		s.abort(fmt.Errorf("negative Compute(%d)", n))
 	}
-	perInstr := s.cfg.CyclePS + s.cfg.ICache.perInstrStall(s.cfg.CyclePS)
 	for n > 0 {
 		chunk := n
 		if chunk > s.cfg.ComputeChunk {
 			chunk = s.cfg.ComputeChunk
 		}
-		eb := energy.Breakdown{
-			Compute:   float64(chunk) * s.cfg.InstrEnergy,
-			CacheRead: float64(chunk) * s.cfg.ICache.instrEnergy(),
+		var eb energy.Breakdown
+		if chunk == s.cfg.ComputeChunk {
+			// Full chunks reuse the precomputed products (identical
+			// expressions, evaluated once in New).
+			eb.Compute = s.chunkComputeE
+			eb.CacheRead = s.chunkFetchE
+		} else {
+			eb.Compute = float64(chunk) * s.cfg.InstrEnergy
+			eb.CacheRead = float64(chunk) * s.instrE
 		}
-		s.advance(s.now+int64(chunk)*perInstr, eb, &s.res.OnTime)
+		s.advance(s.now+int64(chunk)*s.perInstrPS, &eb, &s.res.OnTime)
 		s.res.Instructions += uint64(chunk)
 		s.checkPower()
 		n -= chunk
@@ -231,13 +297,21 @@ func (s *Simulator) Compute(n int) {
 // access runs one memory operation: the design models the hierarchy;
 // the simulator adds the 1-cycle pipeline slot and core energy.
 func (s *Simulator) access(op isa.Op, addr uint32, val uint32) uint32 {
-	v, done, eb := s.design.Access(s.now, op, addr, val)
-	end := s.now + s.cfg.CyclePS + s.cfg.ICache.perInstrStall(s.cfg.CyclePS)
+	var v uint32
+	var done int64
+	eb := &s.ebScratch
+	*eb = energy.Breakdown{}
+	if s.accessEB != nil {
+		v, done = s.accessEB.AccessEB(s.now, op, addr, val, eb)
+	} else {
+		v, done, *eb = s.design.Access(s.now, op, addr, val)
+	}
+	end := s.now + s.perInstrPS
 	if done > end {
 		end = done
 	}
 	eb.Compute += s.cfg.InstrEnergy
-	eb.CacheRead += s.cfg.ICache.instrEnergy()
+	eb.CacheRead += s.instrE
 	s.advance(end, eb, &s.res.OnTime)
 	s.res.Instructions++
 	s.checkPower()
@@ -247,42 +321,49 @@ func (s *Simulator) access(op isa.Op, addr uint32, val uint32) uint32 {
 // advance moves time to `to`, integrating harvest and drawing the
 // event energy plus leakage, and accumulating dt into the given phase
 // counter.
-func (s *Simulator) advance(to int64, eb energy.Breakdown, phase *int64) {
+func (s *Simulator) advance(to int64, eb *energy.Breakdown, phase *int64) {
 	dt := to - s.now
 	if dt < 0 {
 		s.abort(fmt.Errorf("time went backwards: %d -> %d", s.now, to))
 	}
-	leak := s.design.LeakPower() * float64(dt) / 1e12
+	leak := s.leakW * float64(dt) / 1e12
 	eb.Leak += leak
 	if s.cfg.Trace != nil {
-		s.cap.Harvest(s.cfg.OnHarvestEff * s.cfg.Trace.Integrate(s.now, to))
-		if s.inCheckpoint {
-			// Checkpoints spend the reserved band; the post-checkpoint
-			// reserve check in powerFail polices VMin.
-			s.cap.Draw(eb.Total())
-		} else if err := s.cap.DrawGuarded(eb.Total(), s.cfg.VMin); err != nil {
-			s.abort(fmt.Errorf("at t=%d ps (design %s): %w", to, s.design.Name(), err))
+		h := s.cfg.OnHarvestEff * s.cursor.Integrate(s.now, to)
+		e := eb.Total()
+		// Checkpoints spend the reserved band unguarded; the
+		// post-checkpoint reserve check in powerFail polices VMin.
+		if !s.cap.Step(h, e, s.cfg.VMin, !s.inCheckpoint) {
+			s.abort(fmt.Errorf("at t=%d ps (design %s): %w", to, s.design.Name(),
+				s.cap.UnderVoltageError(e, s.cfg.VMin)))
 		}
 	}
-	s.res.Energy.Add(eb)
+	s.res.Energy.Add(*eb)
 	*phase += dt
 	s.now = to
 }
 
 // checkPower triggers the JIT checkpoint + outage + restore sequence
 // when the capacitor has discharged to the design's Vbackup, or when
-// an installed fault plan forces a crash at this boundary.
+// an installed fault plan forces a crash at this boundary. The common
+// case — no fault plan, voltage above threshold — must inline into the
+// per-event loop, so everything else lives in checkPowerSlow.
 func (s *Simulator) checkPower() {
-	if s.cfg.FaultPlan != nil && s.cfg.FaultPlan.ShouldCrash(s.res.Instructions, s.now) {
-		s.powerFail(true)
+	if s.noFault && (s.untraced || s.cap.Voltage() >= s.vb) {
 		return
 	}
-	if s.cfg.Trace == nil {
-		return
-	}
-	vb := s.cfg.Vbackup(s.design.ReserveEnergy())
-	if s.cap.Voltage() >= vb {
-		return
+	s.checkPowerSlow()
+}
+
+func (s *Simulator) checkPowerSlow() {
+	if s.cfg.FaultPlan != nil {
+		if s.cfg.FaultPlan.ShouldCrash(s.res.Instructions, s.now) {
+			s.powerFail(true)
+			return
+		}
+		if s.cfg.Trace == nil || s.cap.Voltage() >= s.vb {
+			return
+		}
 	}
 	s.powerFail(false)
 }
@@ -308,7 +389,7 @@ func (s *Simulator) powerFail(forced bool) {
 	linesBefore := s.checkpointLines()
 	s.inCheckpoint = true
 	done, eb := s.design.Checkpoint(s.now)
-	s.advance(done, eb, &s.res.CheckpointTime)
+	s.advance(done, &eb, &s.res.CheckpointTime)
 	s.inCheckpoint = false
 	if s.cfg.FaultPlan != nil {
 		s.cfg.FaultPlan.CheckpointEnd(s.now)
@@ -354,17 +435,21 @@ func (s *Simulator) powerFail(forced bool) {
 	// Boot: restore state, then let the runtime system adapt.
 	restoreStart := s.now
 	done, eb = s.design.Restore(s.now)
-	s.advance(done, eb, &s.res.RestoreTime)
+	s.advance(done, &eb, &s.res.RestoreTime)
 	// A volatile instruction cache comes back cold: refetch the code
 	// working set from NVM.
 	if dt, ieb := s.cfg.ICache.coldRefill(); dt > 0 {
-		s.advance(s.now+dt, ieb, &s.res.RestoreTime)
+		s.advance(s.now+dt, &ieb, &s.res.RestoreTime)
 	}
 	s.cfg.Obs.RestoreDone(restoreStart, s.now, eb.Total())
 	s.prevOn, s.lastOn = s.lastOn, onDur
 	if rb, ok := s.design.(Rebooter); ok {
 		rb.OnBoot(s.lastOn, s.prevOn)
 	}
+	// Boot-time adaptation may have changed the reserve; recompute the
+	// cached threshold even for designs without a reserve-change
+	// notification (one sqrt per outage, off the hot path).
+	s.refreshThresholds()
 	s.bootTime = s.now
 
 	// Forward-progress guard: a period that retired no instructions.
