@@ -8,6 +8,8 @@
 //	wlbench -experiment fig5 -workloads sha,qsort -scale 2
 //	wlbench -experiment fig4 -out dir   # also save the output to dir/fig4.txt
 //	wlbench -json results.json          # machine-readable benchmark suite
+//	wlbench -sweep -journal j.jsonl     # resumable golden sweep matrix
+//	wlbench -chaos -seed 7              # kill a sweep mid-journal, resume, verify
 package main
 
 import (
@@ -15,8 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,8 +30,23 @@ import (
 	"wlcache/internal/sim"
 )
 
+// chaosChildEnv carries the re-exec'd chaos child's argv, joined by
+// chaosChildSep. Routing the child through an env var instead of real
+// argv lets the same interception work both in the installed binary
+// (main) and under `go test` (TestMain), where os.Executable() is the
+// test binary and flag parsing belongs to the test framework.
+const (
+	chaosChildEnv = "WLBENCH_CHAOS_CHILD"
+	chaosChildSep = "\x1f"
+)
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	args := os.Args[1:]
+	if child, ok := os.LookupEnv(chaosChildEnv); ok {
+		os.Unsetenv(chaosChildEnv)
+		args = strings.Split(child, chaosChildSep)
+	}
+	if err := run(args, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wlbench:", err)
 		os.Exit(1)
 	}
@@ -46,9 +66,31 @@ func run(args []string, stdout io.Writer) error {
 		outDir     = fs.String("out", "", "also write each experiment's output to <out>/<id>.txt")
 		jsonOut    = fs.String("json", "", "run the benchmark suite and write JSON results to this file ('-' = stdout)")
 		compare    = fs.String("compare", "", "run the benchmark suite and fail unless every simulated outcome matches this golden JSON")
+		sweep      = fs.Bool("sweep", false, "run the pinned golden sweep matrix (resumable with -journal)")
+		chaos      = fs.Bool("chaos", false, "kill a -sweep at a random journal append, resume it, and verify bit-identical stitching")
+		journal    = fs.String("journal", "", "with -sweep: content-addressed cell journal; journaled cells are served, not recomputed, on restart")
+		traces     = fs.String("traces", "", "with -sweep/-chaos: comma-separated power-trace subset (default: none,tr1,tr3)")
+		golden     = fs.String("golden", "", "with -sweep/-chaos: compare produced cells against this committed golden JSON")
+		killAfter  = fs.Int("kill-after", 0, "with -sweep: SIGKILL this process after N journal appends (chaos harness internal)")
+		seed       = fs.Int64("seed", 0, "with -chaos: RNG seed for the kill point (0 = time-derived)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *sweep || *chaos {
+		var wls []string
+		if *workloads != "" {
+			wls = strings.Split(*workloads, ",")
+		}
+		srcs, err := parseTraces(*traces)
+		if err != nil {
+			return err
+		}
+		if *chaos {
+			return runChaos(*seed, *journal, *golden, wls, srcs, *parallel, stdout)
+		}
+		return runSweep(*journal, *golden, wls, srcs, *parallel, *killAfter, stdout)
 	}
 
 	if *jsonOut != "" || *compare != "" {
@@ -106,6 +148,163 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
+	return nil
+}
+
+// parseTraces maps a comma-separated -traces value to power sources,
+// rejecting unknown names (power.Get panics on them much later, deep
+// inside a worker).
+func parseTraces(s string) ([]power.Source, error) {
+	if s == "" {
+		return nil, nil
+	}
+	valid := map[power.Source]bool{power.None: true}
+	for _, src := range power.Sources() {
+		valid[src] = true
+	}
+	var out []power.Source
+	for _, name := range strings.Split(s, ",") {
+		src := power.Source(strings.TrimSpace(name))
+		if !valid[src] {
+			return nil, fmt.Errorf("unknown power trace %q", name)
+		}
+		out = append(out, src)
+	}
+	return out, nil
+}
+
+// runSweep executes the pinned golden matrix through the
+// crash-resumable runner. With -journal, completed cells are durably
+// recorded as they finish and a restarted sweep serves them from the
+// journal instead of recomputing. With -kill-after N the process
+// SIGKILLs itself after the N-th journal append — from inside the
+// append lock, so exactly N records are durable — which is how the
+// chaos harness produces a crash with a precisely known footprint.
+func runSweep(journal, goldenPath string, wls []string, srcs []power.Source, parallel, killAfter int, stdout io.Writer) error {
+	ctx := expt.Context{Parallelism: parallel, Journal: journal}
+	if killAfter > 0 {
+		ctx.AfterJournal = func(done int) {
+			if done == killAfter {
+				// Die the way a power failure would: no deferred
+				// cleanup, no flushes. Blocking forever afterwards keeps
+				// the append lock held so no further record can become
+				// durable between the kill request and process death.
+				p, _ := os.FindProcess(os.Getpid())
+				p.Kill()
+				select {}
+			}
+		}
+	}
+	cells, m, err := expt.RunGoldenMatrix(ctx, wls, srcs)
+	if err != nil {
+		return err
+	}
+	infeasible := 0
+	for _, c := range cells {
+		if c.Err != "" {
+			infeasible++
+		}
+	}
+	fmt.Fprintf(stdout, "sweep: %d cells (%d infeasible), %d served from journal, %d computed\n",
+		len(cells), infeasible, m.FromJournal, m.Computed)
+	if goldenPath != "" {
+		if err := checkSweepGolden(cells, goldenPath, len(wls) > 0 || len(srcs) > 0); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "golden check passed: %d cells match %s\n", len(cells), goldenPath)
+	}
+	return nil
+}
+
+// checkSweepGolden compares sweep cells against a committed golden
+// matrix; subset permits a restricted sweep to cover fewer cells.
+func checkSweepGolden(cells []expt.GoldenCell, goldenPath string, subset bool) error {
+	committed, err := expt.LoadGoldenFile(goldenPath)
+	if err != nil {
+		return err
+	}
+	return expt.CompareGoldenCells(cells, committed, subset)
+}
+
+// runChaos is the crash-resume proof: re-exec this binary as a child
+// sweep that SIGKILLs itself after a seed-chosen number of journal
+// appends, then resume the sweep in-process and demand (a) every
+// journaled cell is served without recomputation — exactly killAt, the
+// child died holding the append lock — and (b) the stitched matrix is
+// bit-identical to the committed golden.
+func runChaos(seed int64, journal, goldenPath string, wls []string, srcs []power.Source, parallel int, stdout io.Writer) error {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	if journal == "" {
+		dir, err := os.MkdirTemp("", "wlbench-chaos-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		journal = filepath.Join(dir, "journal.jsonl")
+	}
+
+	nw, nt := len(wls), len(srcs)
+	if nw == 0 {
+		nw = len(expt.GoldenWorkloads())
+	}
+	if nt == 0 {
+		nt = len(expt.GoldenSources())
+	}
+	total := len(expt.AllKinds()) * nw * nt
+	// Kill within the first half of the matrix: infeasible cells never
+	// journal, so a later kill point could outlive the sweep.
+	killAt := 1 + rng.Intn(max(1, total/2))
+	fmt.Fprintf(stdout, "chaos: seed %d, killing child sweep after %d of %d journal appends\n", seed, killAt, total)
+
+	childArgs := []string{"-sweep", "-journal", journal, "-kill-after", strconv.Itoa(killAt)}
+	if len(wls) > 0 {
+		childArgs = append(childArgs, "-workloads", strings.Join(wls, ","))
+	}
+	if len(srcs) > 0 {
+		names := make([]string, len(srcs))
+		for i, s := range srcs {
+			names[i] = string(s)
+		}
+		childArgs = append(childArgs, "-traces", strings.Join(names, ","))
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), chaosChildEnv+"="+strings.Join(childArgs, chaosChildSep))
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Run(); err == nil {
+		return fmt.Errorf("chaos: child sweep finished without dying (kill-after %d)", killAt)
+	}
+	fmt.Fprintf(stdout, "chaos: child killed mid-sweep; resuming from %s\n", journal)
+
+	cells, m, err := expt.RunGoldenMatrix(expt.Context{Parallelism: parallel, Journal: journal}, wls, srcs)
+	if err != nil {
+		return fmt.Errorf("chaos: resume failed: %w", err)
+	}
+	if m.FromJournal != killAt {
+		return fmt.Errorf("chaos: resume served %d cells from the journal, want exactly %d — journaled work was lost or recomputed", m.FromJournal, killAt)
+	}
+	// Infeasible cells never journal (there is no result to record);
+	// they re-fail deterministically on every pass and are accounted
+	// separately from computed successes.
+	if m.FromJournal+m.Computed+m.OptionalFailed != total {
+		return fmt.Errorf("chaos: %d journaled + %d computed + %d infeasible does not cover the %d-cell matrix",
+			m.FromJournal, m.Computed, m.OptionalFailed, total)
+	}
+	if goldenPath != "" {
+		if err := checkSweepGolden(cells, goldenPath, len(wls) > 0 || len(srcs) > 0); err != nil {
+			return fmt.Errorf("chaos: stitched results diverged: %w", err)
+		}
+	}
+	fmt.Fprintf(stdout, "chaos: PASS — %d cells stitched (%d journaled + %d computed + %d infeasible), zero recomputation\n",
+		total, m.FromJournal, m.Computed, m.OptionalFailed)
 	return nil
 }
 
@@ -234,7 +433,11 @@ func compareGolden(doc benchFile, goldenPath string) error {
 		key := r.Design + "/" + r.Workload + "/" + r.Trace
 		g, ok := want[key]
 		if !ok {
-			continue // cell not pinned by the golden (e.g. subset golden)
+			// An unpinned cell is as much drift as a changed one: a
+			// suite that silently grows past its golden would let new
+			// cells regress unchecked.
+			mismatches = append(mismatches, fmt.Sprintf("%s: produced by this run but not pinned by the golden (extra cell)", key))
+			continue
 		}
 		delete(want, key)
 		check := func(field string, got, exp any) {

@@ -2,11 +2,28 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestMain intercepts the chaos harness's re-exec: when -chaos spawns
+// os.Executable() with WLBENCH_CHAOS_CHILD set, under `go test` that
+// executable is this test binary. Routing the env var into run() here
+// makes the child behave exactly like the installed wlbench would.
+func TestMain(m *testing.M) {
+	if child, ok := os.LookupEnv(chaosChildEnv); ok {
+		os.Unsetenv(chaosChildEnv)
+		if err := run(strings.Split(child, chaosChildSep), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wlbench:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func TestListExperiments(t *testing.T) {
 	var b strings.Builder
@@ -188,5 +205,109 @@ func TestCompareGoldenMissingCell(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "not produced") {
 		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// The mirror failure: a run producing cells the golden does not pin
+// must fail too — a silently growing suite would let new cells regress
+// unchecked.
+func TestCompareGoldenExtraCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	// Shrink the committed golden to adpcmencode only; running both
+	// workloads then produces sha cells the golden does not pin.
+	raw, err := os.ReadFile("testdata/bench_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var kept []benchResult
+	for _, r := range doc.Results {
+		if r.Workload == "adpcmencode" {
+			kept = append(kept, r)
+		}
+	}
+	doc.Results = kept
+	shrunk, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "shrunk.json")
+	if err := os.WriteFile(path, shrunk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err = run([]string{"-compare", path, "-workloads", "adpcmencode,sha"}, &b)
+	if err == nil {
+		t.Fatal("sha cells are not pinned by the golden, yet compare passed")
+	}
+	if !strings.Contains(err.Error(), "extra cell") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// The full crash-resume proof, in-process: -chaos re-execs this test
+// binary as a sweep child that SIGKILLs itself mid-journal (see
+// TestMain), resumes, and verifies the stitched subset matrix against
+// the committed golden with zero recomputation of journaled cells.
+func TestChaosKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs a full sweep subset")
+	}
+	journal := filepath.Join(t.TempDir(), "chaos.jsonl")
+	var b strings.Builder
+	err := run([]string{
+		"-chaos", "-seed", "7",
+		"-journal", journal,
+		"-workloads", "adpcmencode",
+		"-golden", filepath.Join("..", "..", "internal", "expt", "testdata", "golden_results.json"),
+	}, &b)
+	if err != nil {
+		t.Fatalf("chaos run failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "child killed mid-sweep") {
+		t.Fatalf("child was not killed:\n%s", out)
+	}
+	if !strings.Contains(out, "zero recomputation") || !strings.Contains(out, "PASS") {
+		t.Fatalf("missing pass verdict:\n%s", out)
+	}
+	// The journal survived the SIGKILL with the child's appends intact.
+	if fi, err := os.Stat(journal); err != nil || fi.Size() == 0 {
+		t.Fatalf("journal missing or empty after chaos run: %v", err)
+	}
+}
+
+// A second chaos pass over the same journal must serve everything: the
+// resumed sweep journals the cells the child never reached, so a
+// subsequent sweep computes nothing.
+func TestSweepFullyJournaledComputesNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a sweep subset")
+	}
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	var b1 strings.Builder
+	if err := run([]string{"-sweep", "-journal", journal, "-workloads", "adpcmencode", "-traces", "none"}, &b1); err != nil {
+		t.Fatal(err)
+	}
+	var b2 strings.Builder
+	if err := run([]string{"-sweep", "-journal", journal, "-workloads", "adpcmencode", "-traces", "none"}, &b2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "0 computed") {
+		t.Fatalf("second sweep recomputed journaled cells:\n%s", b2.String())
+	}
+}
+
+// -traces must reject unknown names before any simulation starts.
+func TestSweepUnknownTraceRejected(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-sweep", "-traces", "tr99"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "unknown power trace") {
+		t.Fatalf("unknown trace accepted: %v", err)
 	}
 }

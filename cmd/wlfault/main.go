@@ -5,6 +5,20 @@
 // non-zero only for *unexpected* results — a sound design failing or
 // the negative control passing.
 //
+// Exit codes (scripts and CI branch on these):
+//
+//	0  audit completed, every verdict as expected
+//	1  usage or infrastructure error (bad flags, unknown design, ...)
+//	2  audit completed with unexpected verdicts
+//	3  the audit itself aborted on a crash-consistency violation
+//	4  the audit itself aborted on a forward-progress failure
+//	5  the audit itself aborted on checkpoint-reserve exhaustion
+//
+// Codes 3–5 classify an *aborted* audit by the simulator's typed
+// sentinel errors: they fire when a fault outside the tolerated
+// matrix (e.g. an infrastructure workload failing to simulate) kills
+// the run, not when a design under test merely fails its audit cells.
+//
 // Usage:
 //
 //	wlfault
@@ -13,6 +27,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,15 +38,31 @@ import (
 
 	"wlcache/internal/expt"
 	"wlcache/internal/fault"
+	"wlcache/internal/sim"
 )
 
 func main() {
 	code, err := run(os.Args[1:], os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wlfault:", err)
-		os.Exit(1)
+		os.Exit(exitCodeFor(err))
 	}
 	os.Exit(code)
+}
+
+// exitCodeFor maps an audit-aborting error to its documented exit
+// code by unwrapping to the simulator's typed sentinels.
+func exitCodeFor(err error) int {
+	switch {
+	case errors.Is(err, sim.ErrCrashConsistency):
+		return 3
+	case errors.Is(err, sim.ErrNoProgress):
+		return 4
+	case errors.Is(err, sim.ErrReserveExhausted):
+		return 5
+	default:
+		return 1
+	}
 }
 
 // run executes the CLI; factored out of main for testing. The int is
@@ -139,7 +170,7 @@ func run(args []string, stdout io.Writer) (int, error) {
 	}
 	if unexpected > 0 {
 		fmt.Fprintf(stdout, "audit: %d unexpected verdict(s)\n", unexpected)
-		return 1, nil
+		return 2, nil
 	}
 	fmt.Fprintln(stdout, "audit: all verdicts as expected")
 	return 0, nil

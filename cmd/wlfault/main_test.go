@@ -1,8 +1,12 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
+
+	"wlcache/internal/sim"
 )
 
 // A small matrix must flag the broken negative control and pass
@@ -59,6 +63,26 @@ func TestBadFlagsError(t *testing.T) {
 	}
 	if _, err := run([]string{"-workloads", "bogus"}, &b); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+}
+
+// The documented exit-code contract: typed simulator sentinels map to
+// distinct codes even when wrapped, everything else is a generic 1.
+func TestExitCodeClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("audit cell wl/sha: %w", sim.ErrCrashConsistency), 3},
+		{fmt.Errorf("audit cell wl/sha: %w", sim.ErrNoProgress), 4},
+		{fmt.Errorf("wrapped twice: %w", fmt.Errorf("%w", sim.ErrReserveExhausted)), 5},
+		{errors.New("flag provided but not defined"), 1},
+		{sim.ErrCrashConsistency, 3},
+	}
+	for _, c := range cases {
+		if got := exitCodeFor(c.err); got != c.want {
+			t.Errorf("exitCodeFor(%v) = %d, want %d", c.err, got, c.want)
+		}
 	}
 }
 

@@ -1,12 +1,13 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"wlcache/internal/power"
+	"wlcache/internal/runner"
 	"wlcache/internal/sim"
 	"wlcache/internal/stats"
 	"wlcache/internal/workload"
@@ -22,6 +23,21 @@ type Context struct {
 	Parallelism int
 	// CheckInvariants enables the expensive correctness checking.
 	CheckInvariants bool
+
+	// Ctx cancels the sweep (nil = context.Background()). Cells not
+	// yet started when it fires are reported as deterministic skips.
+	Ctx context.Context
+	// Journal enables crash-resumable sweeps: completed cells are
+	// appended to this wlrun/v1 JSONL file and served back by content
+	// address on the next run ("" = off).
+	Journal string
+	// Metrics, when non-nil, receives the runner metrics of the sweep
+	// (journal hits, recomputations, failures, skips).
+	Metrics *runner.Metrics
+	// AfterJournal is the chaos seam: it runs after each durable
+	// journal append, under the journal lock. The chaos harness kills
+	// the process here.
+	AfterJournal func(appended int)
 }
 
 func (c Context) normalize() Context {
@@ -89,51 +105,83 @@ type cell struct {
 	optional bool
 }
 
-// runCells executes all cells on a fixed pool of ctx.Parallelism
-// worker goroutines draining an index channel, and returns results
-// keyed by index. A fixed pool (rather than one goroutine per cell
-// gated by a semaphore) keeps goroutine count — and therefore
-// scheduler and stack-allocation load — independent of the matrix
-// size; large sweeps enqueue thousands of cells.
+// runCells executes all cells through the crash-resumable runner
+// (internal/runner) and returns results keyed by index. Failed
+// optional cells keep a zero Result; the first failing required cell
+// — by submission index, never by scheduling race — becomes the
+// error, with every completed result still returned alongside it.
 func runCells(ctx Context, cells []cell) ([]sim.Result, error) {
+	rep, err := runCellsReport(ctx, cells)
+	return rep.Results, err
+}
+
+// runCellsReport is runCells with the full per-cell error vector and
+// runner metrics exposed; the golden sweep and the chaos harness need
+// them.
+func runCellsReport(ctx Context, cells []cell) (runner.Report, error) {
 	ctx = ctx.normalize()
-	results := make([]sim.Result, len(cells))
-	errs := make([]error, len(cells))
-	workers := ctx.Parallelism
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				c := cells[i]
-				cfg := ctx.simConfig()
-				if c.simFn != nil {
-					c.simFn(&cfg)
-				}
-				results[i], errs[i] = Run(c.kind, c.opts, c.wl, ctx.Scale, c.src, cfg)
-			}
-		}()
-	}
-	for i := range cells {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			if cells[i].optional {
-				results[i] = sim.Result{}
-				continue
-			}
-			return nil, fmt.Errorf("cell %s/%s/%s: %w", cells[i].kind, cells[i].wl, cells[i].src, err)
+	rcells := make([]runner.Cell, len(cells))
+	for i, c := range cells {
+		c := c
+		cfg := ctx.simConfig()
+		if c.simFn != nil {
+			c.simFn(&cfg)
+		}
+		scale := ctx.Scale
+		rcells[i] = runner.Cell{
+			ID:          fmt.Sprintf("%s/%s/%s", c.kind, c.wl, c.src),
+			Fingerprint: cellFingerprint(c.kind, c.opts, c.wl, scale, c.src, cfg),
+			Optional:    c.optional,
+			Run: func(context.Context) (sim.Result, error) {
+				return Run(c.kind, c.opts, c.wl, scale, c.src, cfg)
+			},
 		}
 	}
-	return results, nil
+	rep, err := runner.RunCells(ctx.Ctx, runner.Config{
+		Workers:      ctx.Parallelism,
+		Engine:       sim.EngineVersion,
+		JournalPath:  ctx.Journal,
+		AfterJournal: ctx.AfterJournal,
+	}, rcells)
+	if ctx.Metrics != nil {
+		*ctx.Metrics = rep.Metrics
+	}
+	return rep, err
+}
+
+// cellFingerprint canonically serializes everything that determines a
+// cell's simulated outcome: design kind and build options, workload
+// and scale, trace source, and every deterministic sim.Config
+// parameter. Floats render as IEEE-754 bit patterns so the identity is
+// exact. The engine version is mixed in by the runner's Address, not
+// here. Cells carrying live hooks (fault plans, observers) are not
+// content-addressable and return "" — they always recompute and are
+// never journaled.
+func cellFingerprint(kind Kind, opts Options, wl string, scale int, src power.Source, cfg sim.Config) string {
+	if cfg.FaultPlan != nil || cfg.Obs != nil {
+		return ""
+	}
+	o := opts.normalize()
+	fp := fmt.Sprintf(
+		"design=%s wl=%s scale=%d trace=%s"+
+			" geom=%d/%d/%d cpol=%d dqpol=%d dqcap=%d maxline=%d adaptive=%d/%t swjit=%t"+
+			" cyc=%d ie=%016x chunk=%d cap=%016x vmin=%016x vmax=%016x von=%016x margin=%016x eff=%016x inv=%t maxout=%d",
+		kind, wl, scale, src,
+		o.Geometry.SizeBytes, o.Geometry.Ways, o.Geometry.LineBytes,
+		o.CachePolicy, o.DQPolicy, o.DQCap, o.Maxline, o.Adaptive, o.adaptiveSet, o.SoftwareJIT,
+		cfg.CyclePS, math.Float64bits(cfg.InstrEnergy), cfg.ComputeChunk,
+		math.Float64bits(cfg.CapacitorF), math.Float64bits(cfg.VMin), math.Float64bits(cfg.VMax),
+		math.Float64bits(cfg.VonDelta), math.Float64bits(cfg.CheckpointMargin),
+		math.Float64bits(cfg.OnHarvestEff), cfg.CheckInvariants, cfg.MaxOutages,
+	)
+	if ic := cfg.ICache; ic != nil {
+		fp += fmt.Sprintf(" icache=%d/%016x/%d/%t/%d/%016x",
+			ic.FetchLatency, math.Float64bits(ic.FetchEnergy), ic.CodeLines,
+			ic.WarmAcrossOutage, ic.LineFillTime, math.Float64bits(ic.LineFillEnergy))
+	} else {
+		fp += " icache=nil"
+	}
+	return fp
 }
 
 // gmeanOrNaN is Gmean that propagates NaN/non-positive samples as NaN

@@ -1,10 +1,13 @@
 package expt
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"wlcache/internal/power"
+	"wlcache/internal/runner"
 	"wlcache/internal/sim"
 	"wlcache/internal/stats"
 )
@@ -216,6 +219,137 @@ func TestExperimentsRenderOnSubset(t *testing.T) {
 		})
 	}
 }
+
+// TestRunCellsFirstErrorByIndex pins the error-aggregation contract:
+// when several cells fail, runCells reports the lowest-index failure —
+// regardless of worker scheduling — and still returns every completed
+// result. Cell 1 (unknown workload) fails instantly; cell 5 (also
+// unknown) fails instantly too; a racy aggregator could report either,
+// and before the runner rewrite, whichever worker wrote errs last won.
+func TestRunCellsFirstErrorByIndex(t *testing.T) {
+	ctx := Context{Parallelism: 8}
+	for trial := 0; trial < 10; trial++ {
+		cells := []cell{
+			{kind: KindWL, wl: "adpcmencode", src: power.None},
+			{kind: KindWL, wl: "bogus-one", src: power.None},
+			{kind: KindNVSRAM, wl: "adpcmencode", src: power.None},
+			{kind: KindWL, wl: "basicmath", src: power.None},
+			{kind: KindVCacheWT, wl: "adpcmencode", src: power.None},
+			{kind: KindWL, wl: "bogus-two", src: power.None},
+		}
+		results, err := runCells(ctx, cells)
+		if err == nil {
+			t.Fatal("failing sweep returned nil error")
+		}
+		var ce *runner.CellError
+		if !errors.As(err, &ce) {
+			t.Fatalf("error not cell-attributed: %v", err)
+		}
+		if ce.Index != 1 {
+			t.Fatalf("trial %d: error picked cell %d (%s), want deterministic first-by-index 1", trial, ce.Index, ce.ID)
+		}
+		if !strings.Contains(err.Error(), "cell wl/bogus-one/none") {
+			t.Fatalf("error does not name the offending cell: %v", err)
+		}
+		// Completed cells ride along with the error.
+		if len(results) != len(cells) || results[0].Instructions == 0 {
+			t.Fatalf("trial %d: completed results dropped on error", trial)
+		}
+	}
+}
+
+// TestRunCellsPanicIsolated: a poisoned cell (unknown design kind
+// panics inside NewDesign) must surface as a typed, cell-attributed
+// error instead of crashing the whole sweep process.
+func TestRunCellsPanicIsolated(t *testing.T) {
+	cells := []cell{
+		{kind: KindWL, wl: "adpcmencode", src: power.None},
+		{kind: Kind("no-such-design"), wl: "adpcmencode", src: power.None},
+	}
+	results, err := runCells(Context{Parallelism: 2}, cells)
+	if err == nil {
+		t.Fatal("panicking cell produced no error")
+	}
+	if !errors.Is(err, runner.ErrCellPanic) {
+		t.Fatalf("panic not typed: %v", err)
+	}
+	var ce *runner.CellError
+	if !errors.As(err, &ce) || ce.Index != 1 {
+		t.Fatalf("panic not attributed: %v", err)
+	}
+	if results[0].Instructions == 0 {
+		t.Fatal("healthy cell lost to the neighbour's panic")
+	}
+}
+
+// TestRunCellsCancellation: a cancelled context degrades the sweep to
+// deterministic skips instead of hanging or aborting.
+func TestRunCellsCancellation(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the sweep starts: everything skips
+	var cells []cell
+	for _, wl := range []string{"adpcmencode", "sha", "basicmath"} {
+		cells = append(cells, cell{kind: KindWL, wl: wl, src: power.None})
+	}
+	var m runner.Metrics
+	_, err := runCells(Context{Ctx: cctx, Metrics: &m}, cells)
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if !errors.Is(err, runner.ErrSkipped) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("skip not typed: %v", err)
+	}
+	if m.Skipped != len(cells) || m.Computed != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+// TestCellFingerprintDiscriminates: the content address input must
+// change whenever any result-determining parameter changes, and must
+// be empty (uncacheable) for configs carrying live hooks.
+func TestCellFingerprintDiscriminates(t *testing.T) {
+	base := func() string {
+		return cellFingerprint(KindWL, Options{}, "sha", 1, power.Trace1, sim.DefaultConfig())
+	}
+	if base() != base() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	altCfg := sim.DefaultConfig()
+	altCfg.CapacitorF *= 2
+	altIC := sim.DefaultConfig()
+	altIC.ICache = sim.SRAMICache()
+	variants := []string{
+		cellFingerprint(KindNVSRAM, Options{}, "sha", 1, power.Trace1, sim.DefaultConfig()),
+		cellFingerprint(KindWL, Options{Maxline: 2}, "sha", 1, power.Trace1, sim.DefaultConfig()),
+		cellFingerprint(KindWL, Options{}, "qsort", 1, power.Trace1, sim.DefaultConfig()),
+		cellFingerprint(KindWL, Options{}, "sha", 2, power.Trace1, sim.DefaultConfig()),
+		cellFingerprint(KindWL, Options{}, "sha", 1, power.Trace2, sim.DefaultConfig()),
+		cellFingerprint(KindWL, Options{}, "sha", 1, power.Trace1, altCfg),
+		cellFingerprint(KindWL, Options{}, "sha", 1, power.Trace1, altIC),
+		cellFingerprint(KindWL, Options{SoftwareJIT: true}, "sha", 1, power.Trace1, sim.DefaultConfig()),
+	}
+	seen := map[string]bool{base(): true}
+	for i, v := range variants {
+		if v == "" {
+			t.Fatalf("variant %d unexpectedly uncacheable", i)
+		}
+		if seen[v] {
+			t.Fatalf("variant %d collides with another fingerprint", i)
+		}
+		seen[v] = true
+	}
+	hooked := sim.DefaultConfig()
+	hooked.FaultPlan = nopFaultPlan{}
+	if fp := cellFingerprint(KindWL, Options{}, "sha", 1, power.Trace1, hooked); fp != "" {
+		t.Fatalf("hook-carrying config got a fingerprint %q; must be uncacheable", fp)
+	}
+}
+
+type nopFaultPlan struct{}
+
+func (nopFaultPlan) ShouldCrash(uint64, int64) bool { return false }
+func (nopFaultPlan) CheckpointStart(int64, bool)    {}
+func (nopFaultPlan) CheckpointEnd(int64)            {}
 
 // TestSubsetNamesPreservesOrder ensures figure ordering is stable.
 func TestSubsetNamesPreservesOrder(t *testing.T) {

@@ -1,0 +1,190 @@
+package expt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"strings"
+
+	"wlcache/internal/power"
+	"wlcache/internal/runner"
+	"wlcache/internal/sim"
+)
+
+// The golden sweep is the pinned design×workload×trace matrix whose
+// bit-exact results are committed to testdata/golden_results.json: all
+// registered designs crossed with one short MediaBench kernel and the
+// benchmark workload (sha) under uninterrupted power, the moderately
+// stable home RF trace, and the very unstable Mementos trace. It is
+// both the engine's regression gate and the chaos harness's truth: a
+// sweep killed at any point must resume to exactly these cells.
+
+// GoldenWorkloads returns the workloads of the pinned matrix.
+func GoldenWorkloads() []string { return []string{"adpcmencode", "sha"} }
+
+// GoldenSources returns the power traces of the pinned matrix.
+func GoldenSources() []power.Source { return []power.Source{power.None, power.Trace1, power.Trace3} }
+
+// GoldenCell pins one (design, workload, trace) cell of the sweep
+// matrix. Result fields are flattened to exact string renderings —
+// floats as IEEE-754 bit patterns — so any drift, even a single ulp,
+// is detectable. Infeasible cells (e.g. eager-wb's unbounded reserve
+// on traced configs) are pinned by their error string instead.
+type GoldenCell struct {
+	Kind     string            `json:"kind"`
+	Workload string            `json:"workload"`
+	Trace    string            `json:"trace"`
+	Err      string            `json:"err,omitempty"`
+	Fields   map[string]string `json:"fields,omitempty"`
+}
+
+// ID names the cell.
+func (c GoldenCell) ID() string { return c.Kind + "/" + c.Workload + "/" + c.Trace }
+
+// FlattenResult renders every scalar field of a sim.Result (including
+// nested structs) as an exact string.
+func FlattenResult(r sim.Result) map[string]string {
+	out := make(map[string]string)
+	flattenValue("", reflect.ValueOf(r), out)
+	return out
+}
+
+func flattenValue(prefix string, v reflect.Value, out map[string]string) {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			name := t.Field(i).Name
+			if prefix != "" {
+				name = prefix + "." + name
+			}
+			flattenValue(name, v.Field(i), out)
+		}
+	case reflect.Float64:
+		out[prefix] = fmt.Sprintf("%#016x", math.Float64bits(v.Float()))
+	case reflect.Int, reflect.Int64:
+		out[prefix] = fmt.Sprintf("%d", v.Int())
+	case reflect.Uint32, reflect.Uint64:
+		out[prefix] = fmt.Sprintf("%d", v.Uint())
+	case reflect.String:
+		out[prefix] = v.String()
+	case reflect.Bool:
+		out[prefix] = fmt.Sprintf("%t", v.Bool())
+	default:
+		panic(fmt.Sprintf("golden: unsupported field kind %s at %q", v.Kind(), prefix))
+	}
+}
+
+// RunGoldenMatrix executes the pinned matrix — restricted to the given
+// workloads and sources, both defaulting to the full pinned sets —
+// through the crash-resumable runner, in the committed fixed order.
+// Every cell is tolerated (infeasible designs are part of the pin), so
+// the sweep never aborts; per-cell errors land in the GoldenCells. The
+// Context's Journal/Ctx/Metrics/AfterJournal fields thread straight
+// through, which is what makes the golden sweep resumable and
+// chaos-testable.
+func RunGoldenMatrix(ctx Context, workloads []string, sources []power.Source) ([]GoldenCell, runner.Metrics, error) {
+	if len(workloads) == 0 {
+		workloads = GoldenWorkloads()
+	}
+	if len(sources) == 0 {
+		sources = GoldenSources()
+	}
+	ctx.Scale = 1
+	var cells []cell
+	var golden []GoldenCell
+	for _, kind := range AllKinds() {
+		for _, wl := range workloads {
+			for _, src := range sources {
+				cells = append(cells, cell{kind: kind, wl: wl, src: src, optional: true})
+				golden = append(golden, GoldenCell{Kind: string(kind), Workload: wl, Trace: string(src)})
+			}
+		}
+	}
+	rep, err := runCellsReport(ctx, cells)
+	if err != nil {
+		return nil, rep.Metrics, err
+	}
+	for i := range golden {
+		if cerr := rep.Errs[i]; cerr != nil {
+			// Pin the underlying simulator error exactly as a direct
+			// Run call would have returned it, not the runner's
+			// cell-attributed wrapper.
+			var ce *runner.CellError
+			if errors.As(cerr, &ce) {
+				golden[i].Err = ce.Err.Error()
+			} else {
+				golden[i].Err = cerr.Error()
+			}
+		} else {
+			golden[i].Fields = FlattenResult(rep.Results[i])
+		}
+	}
+	return golden, rep.Metrics, nil
+}
+
+// LoadGoldenFile reads a committed golden matrix.
+func LoadGoldenFile(path string) ([]GoldenCell, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cells []GoldenCell
+	if err := json.Unmarshal(data, &cells); err != nil {
+		return nil, fmt.Errorf("golden %s: %w", path, err)
+	}
+	return cells, nil
+}
+
+// CompareGoldenCells verifies got against the committed matrix,
+// bit-exactly. With subset true, got may cover fewer cells than the
+// commitment (a restricted sweep), but every produced cell must still
+// match its committed counterpart by ID — an extra cell the
+// commitment does not pin is an error, so a stitched run can never
+// silently over-report.
+func CompareGoldenCells(got, committed []GoldenCell, subset bool) error {
+	want := make(map[string]GoldenCell, len(committed))
+	for _, c := range committed {
+		want[c.ID()] = c
+	}
+	var diffs []string
+	for _, g := range got {
+		w, ok := want[g.ID()]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: produced but not pinned by the golden (extra cell)", g.ID()))
+			continue
+		}
+		delete(want, g.ID())
+		if w.Err != g.Err {
+			diffs = append(diffs, fmt.Sprintf("%s: error drift: committed %q, got %q", g.ID(), w.Err, g.Err))
+			continue
+		}
+		for field, wv := range w.Fields {
+			if gv, ok := g.Fields[field]; !ok {
+				diffs = append(diffs, fmt.Sprintf("%s: field %s missing from current result", g.ID(), field))
+			} else if gv != wv {
+				diffs = append(diffs, fmt.Sprintf("%s: %s drifted: committed %s, got %s", g.ID(), field, wv, gv))
+			}
+		}
+		for field := range g.Fields {
+			if _, ok := w.Fields[field]; !ok {
+				diffs = append(diffs, fmt.Sprintf("%s: new field %s not in committed golden", g.ID(), field))
+			}
+		}
+	}
+	if !subset {
+		for id := range want {
+			diffs = append(diffs, fmt.Sprintf("%s: pinned by the golden but not produced", id))
+		}
+	}
+	if len(diffs) > 0 {
+		if len(diffs) > 20 {
+			diffs = append(diffs[:20], fmt.Sprintf("... and %d more", len(diffs)-20))
+		}
+		return fmt.Errorf("golden divergence:\n  %s", strings.Join(diffs, "\n  "))
+	}
+	return nil
+}

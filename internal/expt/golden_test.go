@@ -3,101 +3,12 @@ package expt
 import (
 	"encoding/json"
 	"flag"
-	"fmt"
-	"math"
 	"os"
 	"path/filepath"
-	"reflect"
 	"testing"
-
-	"wlcache/internal/power"
-	"wlcache/internal/sim"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_results.json from the current engine")
-
-// goldenWorkloads are the two workloads pinned by the golden matrix:
-// one short MediaBench kernel and the benchmark workload (sha) used by
-// BenchmarkTracedRun and wlbench.
-var goldenWorkloads = []string{"adpcmencode", "sha"}
-
-// goldenSources cover uninterrupted power, the moderately stable home
-// RF trace and the very unstable Mementos trace (most outages, so the
-// recharge/TimeToHarvest path is exercised hardest).
-var goldenSources = []power.Source{power.None, power.Trace1, power.Trace3}
-
-// goldenCell pins one (design, workload, trace) cell of the sweep
-// matrix. Result fields are flattened to exact string renderings —
-// floats as IEEE-754 bit patterns — so any drift, even a single ulp,
-// fails the test. Infeasible cells (e.g. eager-wb's unbounded reserve
-// on traced configs) are pinned by their error string instead.
-type goldenCell struct {
-	Kind     string            `json:"kind"`
-	Workload string            `json:"workload"`
-	Trace    string            `json:"trace"`
-	Err      string            `json:"err,omitempty"`
-	Fields   map[string]string `json:"fields,omitempty"`
-}
-
-func (c goldenCell) id() string {
-	return c.Kind + "/" + c.Workload + "/" + c.Trace
-}
-
-// flattenResult renders every scalar field of a sim.Result (including
-// nested structs) as an exact string.
-func flattenResult(r sim.Result) map[string]string {
-	out := make(map[string]string)
-	flattenValue("", reflect.ValueOf(r), out)
-	return out
-}
-
-func flattenValue(prefix string, v reflect.Value, out map[string]string) {
-	switch v.Kind() {
-	case reflect.Struct:
-		t := v.Type()
-		for i := 0; i < v.NumField(); i++ {
-			name := t.Field(i).Name
-			if prefix != "" {
-				name = prefix + "." + name
-			}
-			flattenValue(name, v.Field(i), out)
-		}
-	case reflect.Float64:
-		out[prefix] = fmt.Sprintf("%#016x", math.Float64bits(v.Float()))
-	case reflect.Int, reflect.Int64:
-		out[prefix] = fmt.Sprintf("%d", v.Int())
-	case reflect.Uint32, reflect.Uint64:
-		out[prefix] = fmt.Sprintf("%d", v.Uint())
-	case reflect.String:
-		out[prefix] = v.String()
-	case reflect.Bool:
-		out[prefix] = fmt.Sprintf("%t", v.Bool())
-	default:
-		panic(fmt.Sprintf("golden: unsupported field kind %s at %q", v.Kind(), prefix))
-	}
-}
-
-// runGoldenMatrix executes every cell of the pinned matrix in a fixed
-// order.
-func runGoldenMatrix(t *testing.T) []goldenCell {
-	t.Helper()
-	var cells []goldenCell
-	for _, kind := range AllKinds() {
-		for _, wl := range goldenWorkloads {
-			for _, src := range goldenSources {
-				cell := goldenCell{Kind: string(kind), Workload: wl, Trace: string(src)}
-				res, err := Run(kind, Options{}, wl, 1, src, sim.DefaultConfig())
-				if err != nil {
-					cell.Err = err.Error()
-				} else {
-					cell.Fields = flattenResult(res)
-				}
-				cells = append(cells, cell)
-			}
-		}
-	}
-	return cells
-}
 
 const goldenPath = "testdata/golden_results.json"
 
@@ -105,12 +16,17 @@ const goldenPath = "testdata/golden_results.json"
 // results for every design×workload×trace cell of the pinned matrix.
 // The committed golden file was generated from the pre-optimization
 // engine, so this is the before/after equivalence proof for the
-// hot-path work (prefix-sum Integrate, binary-search TimeToHarvest,
-// cached Vbackup, page-aware memory). Regenerate deliberately with:
+// hot-path work — and, since the matrix now runs through the
+// crash-resumable runner, it also proves the runner's worker pool and
+// journal plumbing do not perturb results. Regenerate deliberately
+// with:
 //
 //	go test ./internal/expt -run TestGoldenResults -update
 func TestGoldenResults(t *testing.T) {
-	got := runGoldenMatrix(t)
+	got, _, err := RunGoldenMatrix(Context{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
@@ -127,37 +43,60 @@ func TestGoldenResults(t *testing.T) {
 		return
 	}
 
-	data, err := os.ReadFile(goldenPath)
+	want, err := LoadGoldenFile(goldenPath)
 	if err != nil {
 		t.Fatalf("golden: %v (generate with -update)", err)
-	}
-	var want []goldenCell
-	if err := json.Unmarshal(data, &want); err != nil {
-		t.Fatalf("golden: bad testdata: %v", err)
 	}
 	if len(want) != len(got) {
 		t.Fatalf("golden: matrix size changed: committed %d cells, ran %d (regenerate with -update)", len(want), len(got))
 	}
-	for i, w := range want {
-		g := got[i]
-		if w.id() != g.id() {
-			t.Fatalf("golden: cell %d is %s, committed file has %s (matrix order changed; regenerate with -update)", i, g.id(), w.id())
+	for i := range want {
+		if want[i].ID() != got[i].ID() {
+			t.Fatalf("golden: cell %d is %s, committed file has %s (matrix order changed; regenerate with -update)",
+				i, got[i].ID(), want[i].ID())
 		}
-		if w.Err != g.Err {
-			t.Errorf("%s: error drift:\n  committed: %q\n  got:       %q", g.id(), w.Err, g.Err)
-			continue
-		}
-		for field, wv := range w.Fields {
-			if gv, ok := g.Fields[field]; !ok {
-				t.Errorf("%s: field %s missing from current result", g.id(), field)
-			} else if gv != wv {
-				t.Errorf("%s: %s drifted: committed %s, got %s", g.id(), field, wv, gv)
-			}
-		}
-		for field := range g.Fields {
-			if _, ok := w.Fields[field]; !ok {
-				t.Errorf("%s: new field %s not in committed golden (regenerate with -update)", g.id(), field)
-			}
-		}
+	}
+	if err := CompareGoldenCells(got, want, false); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGoldenMatrixResumesFromJournal reruns a prefix of the golden
+// matrix with a journal, then the full matrix against the same
+// journal, and asserts the second pass served every journaled cell by
+// content address with zero recomputation and bit-identical output.
+func TestGoldenMatrixResumesFromJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	wls := []string{"adpcmencode"}
+
+	first, m1, err := RunGoldenMatrix(Context{Journal: journal}, wls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.FromJournal != 0 || m1.Computed == 0 {
+		t.Fatalf("first pass metrics off: %+v", m1)
+	}
+
+	second, m2, err := RunGoldenMatrix(Context{Journal: journal}, wls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.FromJournal != m1.Computed {
+		t.Fatalf("resume recomputed journaled cells: served %d from journal, first pass computed %d (metrics %+v)",
+			m2.FromJournal, m1.Computed, m2)
+	}
+	// Only the infeasible (error) cells recompute on resume — errors
+	// are never journaled — so no cell computes to success twice.
+	if m2.Computed != 0 {
+		t.Fatalf("%d cells recomputed to success on resume, want 0 (metrics %+v)", m2.Computed, m2)
+	}
+	if m2.OptionalFailed != m1.OptionalFailed {
+		t.Fatalf("infeasible-cell count changed across resume: %d vs %d", m2.OptionalFailed, m1.OptionalFailed)
+	}
+	if err := CompareGoldenCells(second, first, false); err != nil {
+		t.Fatalf("journal-served results diverged from computed results: %v", err)
 	}
 }

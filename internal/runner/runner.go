@@ -1,0 +1,374 @@
+// Package runner is the crash-resumable sweep execution substrate: a
+// bounded worker pool that drains a matrix of simulation cells,
+// content-addresses every cell (hash of the caller's canonical design
+// config + workload + trace fingerprint, mixed with the engine
+// version), and journals each completed sim.Result to an append-only,
+// fsync'd JSONL file (wlrun/v1). A sweep killed at any instant —
+// SIGKILL, panic, power loss — resumes by reloading the journal:
+// journaled cells are served back by hash with zero recomputation, a
+// torn final record is discarded rather than fatal, and only the
+// missing cells run.
+//
+// The package applies the same intermittent-computing discipline the
+// repo's internal/fault audit enforces on the *simulated* designs to
+// the simulator's own execution: all work is idempotent, persistence
+// is small and incremental, and recovery is verified (addresses are
+// recomputed on reload, so a stale or tampered record is recomputed,
+// never served).
+//
+// Failure handling degrades gracefully instead of aborting: per-cell
+// panics are recovered into typed errors carrying the cell's identity,
+// transient failures retry with capped exponential backoff, and
+// cancellation (or a per-cell deadline budget) converts the remaining
+// cells into deterministic skip errors. The aggregate error is always
+// the first failing cell by submission index — never a scheduling
+// race.
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wlcache/internal/sim"
+)
+
+// Cell is one unit of sweep work.
+type Cell struct {
+	// ID is the human-readable identity used in error messages,
+	// conventionally "design/workload/trace".
+	ID string
+	// Fingerprint is the canonical serialization of everything that
+	// determines the cell's result (design config, workload, scale,
+	// trace parameters). Cells with equal fingerprints are assumed
+	// interchangeable. Empty means the cell is not content-addressable
+	// (e.g. it carries live hooks); it always recomputes and is never
+	// journaled.
+	Fingerprint string
+	// Optional cells may fail: their Result stays zero and their error
+	// is recorded but does not fail the sweep.
+	Optional bool
+	// Run computes the cell. The context carries sweep cancellation
+	// plus the per-cell deadline budget; the simulator itself is not
+	// preemptible, so the budget bounds retries and start times, not a
+	// single in-flight simulation.
+	Run func(ctx context.Context) (sim.Result, error)
+}
+
+// Config tunes a sweep.
+type Config struct {
+	// Workers bounds the worker pool (0 = NumCPU).
+	Workers int
+	// Engine is the engine version mixed into content addresses
+	// (conventionally sim.EngineVersion).
+	Engine string
+	// JournalPath enables crash-resumable persistence ("" = off).
+	JournalPath string
+	// MaxAttempts bounds tries per cell for transient failures
+	// (0 = 3). Permanent failures never retry.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between transient retries (0 = 10ms / 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// CellBudget is the per-cell deadline (0 = none).
+	CellBudget time.Duration
+	// Retryable classifies errors as transient (nil = errors wrapping
+	// ErrTransient).
+	Retryable func(error) bool
+	// AfterJournal, when set, runs after the n-th record of this run
+	// becomes durable, under the journal's append lock. The chaos
+	// harness kills the process here to get a bit-exactly known
+	// journal state.
+	AfterJournal func(n int)
+}
+
+func (c Config) normalize() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.Retryable == nil {
+		c.Retryable = func(err error) bool { return errors.Is(err, ErrTransient) }
+	}
+	return c
+}
+
+// Metrics counts what a sweep did — the resume proof reads these:
+// FromJournal must equal the journaled population and Computed must
+// cover exactly the rest.
+type Metrics struct {
+	Cells          int // submitted
+	FromJournal    int // served from the reloaded journal, no recompute
+	Deduped        int // served from an identical cell completed earlier in this run
+	Computed       int // executed to success in this run
+	Failed         int // permanent failure of a required cell
+	OptionalFailed int // permanent failure of an optional cell (zero Result)
+	Skipped        int // never attempted (cancellation / deadline)
+	Retries        int // transient re-attempts
+	Panics         int // recovered cell panics
+	Journal        LoadStats
+}
+
+// Report is everything a sweep produced. Results and Errs are indexed
+// like the submitted cells; failed or skipped cells hold a zero Result
+// and a *CellError.
+type Report struct {
+	Results []sim.Result
+	Errs    []error
+	Metrics Metrics
+
+	// optional mirrors the submitted cells' Optional flags so FirstErr
+	// can skip tolerated failures.
+	optional []bool
+}
+
+// FirstErr returns the deterministic aggregate error: the failure of
+// the lowest-index non-optional cell, or nil.
+func (r *Report) FirstErr() error {
+	for i, err := range r.Errs {
+		if err != nil && !r.optional[i] {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunCells executes the sweep and returns the report plus the
+// deterministic aggregate error (first failing required cell by index,
+// or a journal infrastructure error). The report is always populated:
+// a failing sweep still carries every completed result.
+func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
+	cfg = cfg.normalize()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rep := Report{
+		Results:  make([]sim.Result, len(cells)),
+		Errs:     make([]error, len(cells)),
+		optional: make([]bool, len(cells)),
+	}
+	rep.Metrics.Cells = len(cells)
+	for i, c := range cells {
+		rep.optional[i] = c.Optional
+	}
+
+	var journal *Journal
+	cache := make(map[string]sim.Result)
+	if cfg.JournalPath != "" {
+		var stats LoadStats
+		var err error
+		journal, cache, stats, err = OpenJournal(cfg.JournalPath, cfg.Engine)
+		if err != nil {
+			return rep, err
+		}
+		defer journal.Close()
+		journal.afterAppend = cfg.AfterJournal
+		rep.Metrics.Journal = stats
+	}
+
+	// Serve journaled cells first: zero recomputation, no worker
+	// involvement, deterministic regardless of pool scheduling.
+	addrs := make([]string, len(cells))
+	pending := make([]int, 0, len(cells))
+	for i, c := range cells {
+		if c.Fingerprint != "" {
+			addrs[i] = Address(cfg.Engine, c.Fingerprint)
+			if res, ok := cache[addrs[i]]; ok {
+				rep.Results[i] = res
+				rep.Metrics.FromJournal++
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	var (
+		mu        sync.Mutex // guards cache and journErr beyond this point
+		counters  struct{ computed, failed, optFailed, skipped, retries, panics, deduped atomic.Int64 }
+		journErr  error // first journal append error
+		attempted = make([]atomic.Bool, len(cells))
+	)
+
+	workers := cfg.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain; unattempted cells become skips below
+				}
+				attempted[i].Store(true)
+				c := cells[i]
+
+				// A cell identical to one computed earlier in this
+				// run is served from the in-run cache.
+				if addrs[i] != "" {
+					mu.Lock()
+					res, ok := cache[addrs[i]]
+					mu.Unlock()
+					if ok {
+						rep.Results[i] = res
+						counters.deduped.Add(1)
+						continue
+					}
+				}
+
+				res, err := runCell(ctx, cfg, c, &counters.retries, &counters.panics)
+				if err != nil {
+					rep.Errs[i] = &CellError{Index: i, ID: c.ID, Err: err}
+					if c.Optional {
+						counters.optFailed.Add(1)
+					} else {
+						counters.failed.Add(1)
+					}
+					continue
+				}
+				rep.Results[i] = res
+				counters.computed.Add(1)
+				if journal != nil && addrs[i] != "" {
+					if aerr := journal.Append(addrs[i], c.ID, c.Fingerprint, res); aerr != nil {
+						mu.Lock()
+						if journErr == nil {
+							journErr = aerr
+						}
+						mu.Unlock()
+					}
+				}
+				if addrs[i] != "" {
+					mu.Lock()
+					cache[addrs[i]] = res
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for _, i := range pending {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	// Cells never handed to (or declined by) a worker are deterministic
+	// skips, not silent holes.
+	for _, i := range pending {
+		if !attempted[i].Load() {
+			cause := context.Cause(ctx)
+			if cause == nil {
+				cause = context.Canceled
+			}
+			rep.Errs[i] = &CellError{Index: i, ID: cells[i].ID, Err: errorsJoin(ErrSkipped, cause)}
+			counters.skipped.Add(1)
+		}
+	}
+
+	rep.Metrics.Computed = int(counters.computed.Load())
+	rep.Metrics.Failed = int(counters.failed.Load())
+	rep.Metrics.OptionalFailed = int(counters.optFailed.Load())
+	rep.Metrics.Skipped = int(counters.skipped.Load())
+	rep.Metrics.Retries = int(counters.retries.Load())
+	rep.Metrics.Panics = int(counters.panics.Load())
+	rep.Metrics.Deduped = int(counters.deduped.Load())
+
+	if err := rep.FirstErr(); err != nil {
+		return rep, err
+	}
+	if journErr != nil {
+		return rep, journErr
+	}
+	return rep, nil
+}
+
+// runCell executes one cell with panic isolation, the per-cell
+// deadline budget, and capped exponential backoff on transient errors.
+func runCell(ctx context.Context, cfg Config, c Cell, retries, panics *atomic.Int64) (sim.Result, error) {
+	cctx := ctx
+	if cfg.CellBudget > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, cfg.CellBudget)
+		defer cancel()
+	}
+	var last error
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		if err := cctx.Err(); err != nil {
+			if last == nil {
+				last = err
+			}
+			break
+		}
+		res, err := safeRun(cctx, c, panics)
+		if err == nil {
+			return res, nil
+		}
+		last = err
+		if !cfg.Retryable(err) {
+			break
+		}
+		if attempt+1 < cfg.MaxAttempts {
+			retries.Add(1)
+			backoff := cfg.BackoffBase << attempt
+			if backoff > cfg.BackoffMax {
+				backoff = cfg.BackoffMax
+			}
+			if !sleepCtx(cctx, backoff) {
+				break
+			}
+		}
+	}
+	return sim.Result{}, last
+}
+
+// safeRun isolates a cell panic to a typed error instead of
+// collapsing the sweep.
+func safeRun(ctx context.Context, c Cell, panics *atomic.Int64) (res sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics.Add(1)
+			res = sim.Result{}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return c.Run(ctx)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// errorsJoin wraps skip + cause so both match under errors.Is.
+func errorsJoin(sentinel, cause error) error {
+	if cause == nil {
+		return sentinel
+	}
+	return errors.Join(sentinel, cause)
+}

@@ -1,0 +1,398 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wlcache/internal/sim"
+)
+
+// fakeResult builds a distinct, deterministic result per cell index,
+// with non-trivial float bit patterns so round-trip comparisons mean
+// something.
+func fakeResult(i int) sim.Result {
+	r := sim.Result{
+		Design:       fmt.Sprintf("d%d", i),
+		Workload:     fmt.Sprintf("w%d", i),
+		Trace:        "tr1",
+		ExecTime:     int64(1000 + i),
+		Instructions: uint64(7 * i),
+		Outages:      uint64(i % 5),
+		Checksum:     uint32(0xdead0000 + i),
+	}
+	r.Energy.Compute = 1.0 / float64(i+3)
+	r.ReserveWasted = 3.14159e-9 * float64(i+1)
+	r.Extra.Writebacks = uint64(i * i)
+	return r
+}
+
+// okCell computes fakeResult(i).
+func okCell(i int) Cell {
+	return Cell{
+		ID:          fmt.Sprintf("cell-%d", i),
+		Fingerprint: fmt.Sprintf("fp-%d", i),
+		Run:         func(context.Context) (sim.Result, error) { return fakeResult(i), nil },
+	}
+}
+
+func TestRunCellsComputesAll(t *testing.T) {
+	cells := make([]Cell, 20)
+	for i := range cells {
+		cells[i] = okCell(i)
+	}
+	rep, err := RunCells(context.Background(), Config{Workers: 4, Engine: "test"}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if rep.Results[i] != fakeResult(i) {
+			t.Fatalf("cell %d: result %+v", i, rep.Results[i])
+		}
+	}
+	if rep.Metrics.Computed != 20 || rep.Metrics.FromJournal != 0 || rep.Metrics.Failed != 0 {
+		t.Fatalf("metrics %+v", rep.Metrics)
+	}
+}
+
+// The aggregate error must be the first failing cell by submission
+// index — not whichever worker lost the race — and every completed
+// result must still be returned.
+func TestFirstErrorByIndexIsDeterministic(t *testing.T) {
+	boom := errors.New("boom")
+	for trial := 0; trial < 20; trial++ {
+		cells := make([]Cell, 16)
+		for i := range cells {
+			i := i
+			if i == 3 || i == 11 {
+				// Later-indexed failure (11) completes much faster
+				// than 3 — a race-dependent aggregator would report
+				// it first.
+				delay := 20 * time.Millisecond
+				if i == 11 {
+					delay = 0
+				}
+				cells[i] = Cell{
+					ID: fmt.Sprintf("cell-%d", i),
+					Run: func(context.Context) (sim.Result, error) {
+						time.Sleep(delay)
+						return sim.Result{}, fmt.Errorf("%w (cell %d)", boom, i)
+					},
+				}
+				continue
+			}
+			cells[i] = okCell(i)
+		}
+		rep, err := RunCells(context.Background(), Config{Workers: 8, Engine: "test"}, cells)
+		if err == nil {
+			t.Fatal("failing sweep returned nil error")
+		}
+		var ce *CellError
+		if !errors.As(err, &ce) {
+			t.Fatalf("error %T does not attribute a cell: %v", err, err)
+		}
+		if ce.Index != 3 || ce.ID != "cell-3" {
+			t.Fatalf("trial %d: aggregate error picked cell %d (%s), want deterministic first-by-index 3", trial, ce.Index, ce.ID)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("cause not preserved: %v", err)
+		}
+		// Completed results ride along with the error.
+		if rep.Results[5] != fakeResult(5) {
+			t.Fatalf("trial %d: completed result 5 missing: %+v", trial, rep.Results[5])
+		}
+		if rep.Metrics.Failed != 2 || rep.Metrics.Computed != 14 {
+			t.Fatalf("metrics %+v", rep.Metrics)
+		}
+	}
+}
+
+// A panicking cell becomes a typed, cell-attributed error; the rest of
+// the sweep completes.
+func TestPanicIsolation(t *testing.T) {
+	cells := []Cell{
+		okCell(0),
+		{ID: "poisoned", Run: func(context.Context) (sim.Result, error) { panic("kaboom") }},
+		okCell(2),
+	}
+	rep, err := RunCells(context.Background(), Config{Workers: 2, Engine: "test"}, cells)
+	if err == nil {
+		t.Fatal("panicking sweep returned nil error")
+	}
+	if !errors.Is(err, ErrCellPanic) {
+		t.Fatalf("panic not typed: %v", err)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.ID != "poisoned" {
+		t.Fatalf("panic not attributed to the offending cell: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic payload lost: %v", err)
+	}
+	if rep.Results[0] != fakeResult(0) || rep.Results[2] != fakeResult(2) {
+		t.Fatal("panic took down healthy cells")
+	}
+	if rep.Metrics.Panics != 1 {
+		t.Fatalf("metrics %+v", rep.Metrics)
+	}
+}
+
+// Optional cells may fail without failing the sweep; their result
+// stays zero.
+func TestOptionalFailureTolerated(t *testing.T) {
+	cells := []Cell{
+		okCell(0),
+		{ID: "infeasible", Optional: true, Run: func(context.Context) (sim.Result, error) {
+			return sim.Result{}, errors.New("cannot charge reserve")
+		}},
+	}
+	rep, err := RunCells(context.Background(), Config{Workers: 2, Engine: "test"}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errs[1] == nil || rep.Results[1] != (sim.Result{}) {
+		t.Fatalf("optional failure not recorded: errs=%v", rep.Errs)
+	}
+	if rep.Metrics.OptionalFailed != 1 {
+		t.Fatalf("metrics %+v", rep.Metrics)
+	}
+}
+
+// Transient failures retry with backoff until they succeed; permanent
+// failures do not retry.
+func TestTransientRetry(t *testing.T) {
+	var attempts, permTries atomic.Int64
+	cells := []Cell{
+		{ID: "flaky", Run: func(context.Context) (sim.Result, error) {
+			if attempts.Add(1) < 3 {
+				return sim.Result{}, fmt.Errorf("%w: io hiccup", ErrTransient)
+			}
+			return fakeResult(0), nil
+		}},
+		{ID: "perm", Optional: true, Run: func(context.Context) (sim.Result, error) {
+			permTries.Add(1)
+			return sim.Result{}, errors.New("deterministic failure")
+		}},
+	}
+	rep, err := RunCells(context.Background(), Config{
+		Workers: 1, Engine: "test", MaxAttempts: 5,
+		BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond,
+	}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0] != fakeResult(0) {
+		t.Fatal("flaky cell did not recover")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("flaky cell ran %d times, want 3", got)
+	}
+	if got := permTries.Load(); got != 1 {
+		t.Fatalf("permanent failure retried %d times, want 1", got)
+	}
+	if rep.Metrics.Retries != 2 {
+		t.Fatalf("metrics %+v", rep.Metrics)
+	}
+}
+
+// A transient cell that never recovers exhausts MaxAttempts and
+// surfaces the last error.
+func TestTransientExhaustion(t *testing.T) {
+	var tries atomic.Int64
+	cells := []Cell{{ID: "hopeless", Run: func(context.Context) (sim.Result, error) {
+		tries.Add(1)
+		return sim.Result{}, fmt.Errorf("%w: still down", ErrTransient)
+	}}}
+	_, err := RunCells(context.Background(), Config{
+		Workers: 1, Engine: "test", MaxAttempts: 3,
+		BackoffBase: time.Millisecond, BackoffMax: time.Millisecond,
+	}, cells)
+	if err == nil || !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := tries.Load(); got != 3 {
+		t.Fatalf("ran %d times, want 3", got)
+	}
+}
+
+// Cancellation degrades gracefully: started cells finish, unstarted
+// cells become deterministic typed skips, and the sweep reports rather
+// than hangs or aborts.
+func TestCancellationSkipsDeterministically(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	release := make(chan struct{})
+	var started atomic.Int64
+	cells := make([]Cell, 12)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{
+			ID: fmt.Sprintf("cell-%d", i),
+			Run: func(context.Context) (sim.Result, error) {
+				if started.Add(1) == 2 {
+					cancel()
+				}
+				<-release
+				return fakeResult(i), nil
+			},
+		}
+	}
+	go func() {
+		// Free the in-flight cells once cancellation has landed.
+		<-ctx.Done()
+		close(release)
+	}()
+	rep, err := RunCells(ctx, Config{Workers: 2, Engine: "test"}, cells)
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if rep.Metrics.Skipped == 0 {
+		t.Fatalf("no skips recorded: %+v", rep.Metrics)
+	}
+	if rep.Metrics.Computed+rep.Metrics.Skipped != len(cells) {
+		t.Fatalf("cells unaccounted: %+v", rep.Metrics)
+	}
+	for i, cerr := range rep.Errs {
+		if cerr != nil && !errors.Is(cerr, ErrSkipped) {
+			t.Fatalf("cell %d: unexpected error class: %v", i, cerr)
+		}
+		if cerr != nil && !errors.Is(cerr, context.Canceled) {
+			t.Fatalf("cell %d: skip does not carry the cancellation cause: %v", i, cerr)
+		}
+	}
+}
+
+// A per-cell deadline budget stops retrying a transient cell.
+func TestCellBudgetBoundsRetries(t *testing.T) {
+	var tries atomic.Int64
+	cells := []Cell{{ID: "slow-flaky", Run: func(context.Context) (sim.Result, error) {
+		tries.Add(1)
+		return sim.Result{}, fmt.Errorf("%w: down", ErrTransient)
+	}}}
+	_, err := RunCells(context.Background(), Config{
+		Workers: 1, Engine: "test", MaxAttempts: 1000,
+		BackoffBase: 20 * time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		CellBudget: 50 * time.Millisecond,
+	}, cells)
+	if err == nil {
+		t.Fatal("budget-exceeded cell returned nil error")
+	}
+	if got := tries.Load(); got >= 1000 {
+		t.Fatalf("budget did not bound retries (%d tries)", got)
+	}
+}
+
+// Two cells with identical fingerprints dedupe within one run: the
+// second serves from the in-run cache.
+func TestInRunDedup(t *testing.T) {
+	var computes atomic.Int64
+	mk := func(id string) Cell {
+		return Cell{ID: id, Fingerprint: "same-fp", Run: func(context.Context) (sim.Result, error) {
+			computes.Add(1)
+			return fakeResult(7), nil
+		}}
+	}
+	rep, err := RunCells(context.Background(), Config{Workers: 1, Engine: "test"}, []Cell{mk("a"), mk("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computed %d times, want 1", got)
+	}
+	if rep.Results[0] != fakeResult(7) || rep.Results[1] != fakeResult(7) {
+		t.Fatal("dedup lost a result")
+	}
+	if rep.Metrics.Deduped != 1 {
+		t.Fatalf("metrics %+v", rep.Metrics)
+	}
+}
+
+// Journaled cells are served on the next run with zero recomputation;
+// cells with an empty fingerprint are never journaled.
+func TestJournalRoundTrip(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	var computes atomic.Int64
+	mkCells := func() []Cell {
+		cells := make([]Cell, 6)
+		for i := range cells {
+			i := i
+			cells[i] = Cell{
+				ID:          fmt.Sprintf("cell-%d", i),
+				Fingerprint: fmt.Sprintf("fp-%d", i),
+				Run: func(context.Context) (sim.Result, error) {
+					computes.Add(1)
+					return fakeResult(i), nil
+				},
+			}
+		}
+		cells[5].Fingerprint = "" // live-hook cell: never journaled
+		return cells
+	}
+	cfg := Config{Workers: 3, Engine: "test", JournalPath: journal}
+
+	rep1, err := RunCells(context.Background(), cfg, mkCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Metrics.Computed != 6 || rep1.Metrics.FromJournal != 0 {
+		t.Fatalf("first pass metrics %+v", rep1.Metrics)
+	}
+
+	computes.Store(0)
+	rep2, err := RunCells(context.Background(), cfg, mkCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Metrics.FromJournal != 5 {
+		t.Fatalf("served %d from journal, want 5: %+v", rep2.Metrics.FromJournal, rep2.Metrics)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("recomputed %d cells, want 1 (the unaddressable one)", got)
+	}
+	for i := 0; i < 6; i++ {
+		if rep2.Results[i] != fakeResult(i) {
+			t.Fatalf("cell %d served wrong result: %+v", i, rep2.Results[i])
+		}
+	}
+}
+
+// A different engine version invalidates every journaled record: the
+// addresses cannot match, and the journal restarts for the new engine.
+func TestEngineVersionInvalidatesJournal(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	cells := []Cell{okCell(0)}
+	if _, err := RunCells(context.Background(), Config{Workers: 1, Engine: "v1", JournalPath: journal}, cells); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunCells(context.Background(), Config{Workers: 1, Engine: "v2", JournalPath: journal}, []Cell{okCell(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics.FromJournal != 0 || rep.Metrics.Computed != 1 {
+		t.Fatalf("stale engine served from journal: %+v", rep.Metrics)
+	}
+	if !rep.Metrics.Journal.EngineMismatch {
+		t.Fatalf("engine mismatch not reported: %+v", rep.Metrics.Journal)
+	}
+}
+
+func TestAddressIsStableAndDiscriminating(t *testing.T) {
+	a := Address("e1", "fp")
+	if a != Address("e1", "fp") {
+		t.Fatal("address not deterministic")
+	}
+	if a == Address("e2", "fp") {
+		t.Fatal("engine version not mixed into address")
+	}
+	if a == Address("e1", "fp2") {
+		t.Fatal("fingerprint not mixed into address")
+	}
+	if len(a) != 64 {
+		t.Fatalf("address %q not a hex sha256", a)
+	}
+}

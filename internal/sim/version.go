@@ -1,0 +1,12 @@
+package sim
+
+// EngineVersion identifies the simulation semantics. It is mixed into
+// every content address the resumable sweep runner (internal/runner)
+// computes, so journaled cell results are only ever served back to the
+// engine revision that produced them.
+//
+// Bump this string whenever a change can alter any simulated outcome —
+// timing model, energy constants, trace generators, design protocol —
+// even when the change is believed bit-exact. A stale bump costs one
+// recomputation of cached sweeps; a missing bump serves wrong results.
+const EngineVersion = "wlcache-sim/6"
