@@ -10,23 +10,38 @@
 //	wlbench -json results.json          # machine-readable benchmark suite
 //	wlbench -sweep -journal j.jsonl     # resumable golden sweep matrix
 //	wlbench -chaos -seed 7              # kill a sweep mid-journal, resume, verify
+//	wlbench -chaos -serve -golden g.json  # same gate against the wlserve HTTP service
+//
+// Exit codes (scripts and CI branch on these, mirroring wlfault):
+//
+//	0  requested run completed, every check passed
+//	1  usage or infrastructure error (bad flags, unknown experiment, I/O)
+//	2  a -compare / -golden check completed and found divergent results
+//	3  the -chaos gate failed (lost journal work, recomputation, or a
+//	   stitched matrix that diverged from the committed golden)
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"wlcache/internal/expt"
 	"wlcache/internal/power"
+	"wlcache/internal/serve"
 	"wlcache/internal/sim"
 )
 
@@ -48,8 +63,38 @@ func main() {
 	}
 	if err := run(args, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wlbench:", err)
-		os.Exit(1)
+		os.Exit(exitCodeFor(err))
 	}
+}
+
+// Sentinel errors classifying a failed run for exitCodeFor. They wrap
+// the detailed error, so errors.Is sees them anywhere in the chain.
+var (
+	// errMismatch marks a completed comparison that found divergent
+	// results (-compare or a -sweep/-json golden check).
+	errMismatch = errors.New("results diverged from golden")
+	// errChaos marks a failed crash-resume gate: durable work was lost,
+	// journaled cells recomputed, or the stitched matrix drifted.
+	errChaos = errors.New("chaos gate failed")
+)
+
+// exitCodeFor maps a run-aborting error to its documented exit code.
+// A chaos failure stays exit 3 even when the underlying symptom is a
+// golden mismatch: the gate, not the comparison, is what failed.
+func exitCodeFor(err error) int {
+	switch {
+	case errors.Is(err, errChaos):
+		return 3
+	case errors.Is(err, errMismatch):
+		return 2
+	default:
+		return 1
+	}
+}
+
+// chaosFail builds a chaos-gate failure: exit code 3.
+func chaosFail(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errChaos, fmt.Sprintf(format, args...))
 }
 
 // run executes the CLI; factored out of main for testing.
@@ -73,9 +118,18 @@ func run(args []string, stdout io.Writer) error {
 		golden     = fs.String("golden", "", "with -sweep/-chaos: compare produced cells against this committed golden JSON")
 		killAfter  = fs.Int("kill-after", 0, "with -sweep: SIGKILL this process after N journal appends (chaos harness internal)")
 		seed       = fs.Int64("seed", 0, "with -chaos: RNG seed for the kill point (0 = time-derived)")
+		serveMode  = fs.Bool("serve", false, "with -chaos: run the gate against the wlserve HTTP service (two overlapping concurrent sweeps, SIGKILL, restart, resubmit)")
+		serveBin   = fs.String("serve-bin", "", "with -chaos -serve: path to a wlserve binary to crash (default: re-exec this binary as the server)")
+		serveChild = fs.Bool("serve-child", false, "internal: act as the wlserve server (chaos harness child)")
+		addr       = fs.String("addr", "127.0.0.1:0", "with -serve-child: listen address")
+		dataDir    = fs.String("data", "", "with -chaos -serve: sweep-journal data directory (default: a temp dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *serveChild {
+		return runServeChild(*addr, *dataDir, *killAfter, stdout)
 	}
 
 	if *sweep || *chaos {
@@ -86,6 +140,9 @@ func run(args []string, stdout io.Writer) error {
 		srcs, err := parseTraces(*traces)
 		if err != nil {
 			return err
+		}
+		if *chaos && *serveMode {
+			return runChaosServe(*seed, *dataDir, *golden, wls, srcs, *serveBin, stdout)
 		}
 		if *chaos {
 			return runChaos(*seed, *journal, *golden, wls, srcs, *parallel, stdout)
@@ -223,7 +280,10 @@ func checkSweepGolden(cells []expt.GoldenCell, goldenPath string, subset bool) e
 	if err != nil {
 		return err
 	}
-	return expt.CompareGoldenCells(cells, committed, subset)
+	if err := expt.CompareGoldenCells(cells, committed, subset); err != nil {
+		return fmt.Errorf("%w: %w", errMismatch, err)
+	}
+	return nil
 }
 
 // runChaos is the crash-resume proof: re-exec this binary as a child
@@ -280,32 +340,331 @@ func runChaos(seed int64, journal, goldenPath string, wls []string, srcs []power
 	cmd.Stdout = io.Discard
 	cmd.Stderr = io.Discard
 	if err := cmd.Run(); err == nil {
-		return fmt.Errorf("chaos: child sweep finished without dying (kill-after %d)", killAt)
+		return chaosFail("child sweep finished without dying (kill-after %d)", killAt)
 	}
 	fmt.Fprintf(stdout, "chaos: child killed mid-sweep; resuming from %s\n", journal)
 
 	cells, m, err := expt.RunGoldenMatrix(expt.Context{Parallelism: parallel, Journal: journal}, wls, srcs)
 	if err != nil {
-		return fmt.Errorf("chaos: resume failed: %w", err)
+		return chaosFail("resume failed: %v", err)
 	}
 	if m.FromJournal != killAt {
-		return fmt.Errorf("chaos: resume served %d cells from the journal, want exactly %d — journaled work was lost or recomputed", m.FromJournal, killAt)
+		return chaosFail("resume served %d cells from the journal, want exactly %d — journaled work was lost or recomputed", m.FromJournal, killAt)
 	}
 	// Infeasible cells never journal (there is no result to record);
 	// they re-fail deterministically on every pass and are accounted
 	// separately from computed successes.
 	if m.FromJournal+m.Computed+m.OptionalFailed != total {
-		return fmt.Errorf("chaos: %d journaled + %d computed + %d infeasible does not cover the %d-cell matrix",
+		return chaosFail("%d journaled + %d computed + %d infeasible does not cover the %d-cell matrix",
 			m.FromJournal, m.Computed, m.OptionalFailed, total)
 	}
 	if goldenPath != "" {
 		if err := checkSweepGolden(cells, goldenPath, len(wls) > 0 || len(srcs) > 0); err != nil {
-			return fmt.Errorf("chaos: stitched results diverged: %w", err)
+			return chaosFail("stitched results diverged: %v", err)
 		}
 	}
 	fmt.Fprintf(stdout, "chaos: PASS — %d cells stitched (%d journaled + %d computed + %d infeasible), zero recomputation\n",
 		total, m.FromJournal, m.Computed, m.OptionalFailed)
 	return nil
+}
+
+// runServeChild is the chaos harness's server half: an in-process
+// wlserve instance with the same kill seam as the real binary. The
+// harness re-execs wlbench into this mode when no -serve-bin is given,
+// so the gate runs hermetically under `go test` too.
+func runServeChild(addr, dataDir string, killAfter int, stdout io.Writer) error {
+	if dataDir == "" {
+		return fmt.Errorf("-serve-child needs -data")
+	}
+	cfg := serve.Config{DataDir: dataDir}
+	if killAfter > 0 {
+		n := killAfter
+		cfg.AfterJournal = func(total int) {
+			if total == n {
+				// Die like a power failure: no cleanup, no flushes, and
+				// block afterwards so this sweep's journal lock stays
+				// held until the process is gone.
+				p, _ := os.FindProcess(os.Getpid())
+				p.Kill()
+				select {}
+			}
+		}
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+	return srv.Serve(ln)
+}
+
+// startServeProc launches a wlserve server process — the given binary,
+// or this binary re-exec'd into -serve-child — and returns once it
+// prints its listen address.
+func startServeProc(serveBin, dataDir string, killAfter int) (*exec.Cmd, string, error) {
+	args := []string{"-addr", "127.0.0.1:0", "-data", dataDir}
+	if killAfter > 0 {
+		args = append(args, "-kill-after", strconv.Itoa(killAfter))
+	}
+	var cmd *exec.Cmd
+	if serveBin != "" {
+		cmd = exec.Command(serveBin, args...)
+	} else {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, "", err
+		}
+		cmd = exec.Command(exe)
+		childArgs := append([]string{"-serve-child"}, args...)
+		cmd.Env = append(os.Environ(), chaosChildEnv+"="+strings.Join(childArgs, chaosChildSep))
+	}
+	cmd.Stderr = io.Discard
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	sc := bufio.NewScanner(pipe)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if a, ok := strings.CutPrefix(line, "listening on "); ok {
+			// Keep draining stdout so the server never blocks on a full
+			// pipe.
+			go io.Copy(io.Discard, pipe)
+			return cmd, "http://" + a, nil
+		}
+	}
+	err = cmd.Wait()
+	return nil, "", fmt.Errorf("server exited before listening: %v", err)
+}
+
+// sweepOutcome is one client's view of a completed (or crashed) sweep.
+type sweepOutcome struct {
+	cells []serve.Event
+	done  *serve.Event
+	err   error
+}
+
+// streamSweep submits a spec and drains its whole event stream.
+func streamSweep(ctx context.Context, cl *serve.Client, spec serve.Spec) sweepOutcome {
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		return sweepOutcome{err: err}
+	}
+	defer st.Close()
+	cells, done, err := st.Drain()
+	return sweepOutcome{cells: cells, done: done, err: err}
+}
+
+// runChaosServe is the end-to-end service chaos gate: two overlapping
+// sweeps are submitted to a live wlserve concurrently, the server is
+// SIGKILL'd at a seed-chosen journal append, restarted, and both sweeps
+// resubmitted. The gate fails (exit 3) unless
+//
+//   - zero journaled cells recompute: run 2 computes exactly the
+//     feasible cells no durable journal record covers,
+//   - the stitched full sweep is bit-identical to the committed golden,
+//   - duplicate cells are computed exactly once, with the dedup
+//     observable in the metrics (every feasible overlap cell is served
+//     to exactly one sweep from the shared store).
+func runChaosServe(seed int64, dataDir, goldenPath string, wls []string, srcs []power.Source, serveBin string, stdout io.Writer) error {
+	if goldenPath == "" {
+		return fmt.Errorf("-chaos -serve needs -golden: the gate verifies the stitched matrix against the committed golden")
+	}
+	committed, err := expt.LoadGoldenFile(goldenPath)
+	if err != nil {
+		return err
+	}
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if dataDir == "" {
+		dir, err := os.MkdirTemp("", "wlbench-serve-chaos-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		dataDir = dir
+	}
+
+	// Sweep A is the full golden matrix (restricted by -workloads /
+	// -traces); sweep B overlaps it on the paper's figure designs.
+	trNames := make([]string, len(srcs))
+	for i, s := range srcs {
+		trNames[i] = string(s)
+	}
+	specA := serve.Spec{Workloads: wls, Traces: trNames}
+	var figs []string
+	for _, k := range expt.FigureKinds() {
+		figs = append(figs, string(k))
+	}
+	specB := serve.Spec{Designs: figs, Workloads: wls, Traces: trNames}
+	subset := len(wls) > 0 || len(srcs) > 0
+
+	// The committed golden, restricted to the sweep population, predicts
+	// exactly which cells are feasible (journalable) and which fail.
+	feasibleA, infeasibleA, err := countGolden(committed, nil, wls, trNames)
+	if err != nil {
+		return err
+	}
+	feasibleB, infeasibleB, err := countGolden(committed, figs, wls, trNames)
+	if err != nil {
+		return err
+	}
+	if feasibleA < 2 {
+		return fmt.Errorf("sweep population has %d feasible cells; the gate needs at least 2", feasibleA)
+	}
+	killAt := 1 + rng.Intn(feasibleA/2)
+	fmt.Fprintf(stdout, "chaos-serve: seed %d, killing server after %d of %d feasible cells journal\n", seed, killAt, feasibleA)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	// Run 1: both sweeps live when the server dies mid-journal.
+	cmd1, base1, err := startServeProc(serveBin, dataDir, killAt)
+	if err != nil {
+		return err
+	}
+	defer cmd1.Process.Kill()
+	cl1 := &serve.Client{Base: base1}
+	if err := cl1.WaitReady(ctx); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); streamSweep(ctx, cl1, specA) }()
+	go func() { defer wg.Done(); streamSweep(ctx, cl1, specB) }()
+	wg.Wait()
+	if err := cmd1.Wait(); err == nil {
+		return chaosFail("server finished both sweeps without dying (kill-after %d)", killAt)
+	}
+	fmt.Fprintf(stdout, "chaos-serve: server killed mid-sweep; restarting on %s\n", dataDir)
+
+	// Run 2: restart on the same data dir, resubmit both sweeps.
+	cmd2, base2, err := startServeProc(serveBin, dataDir, 0)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	cl2 := &serve.Client{Base: base2}
+	if err := cl2.WaitReady(ctx); err != nil {
+		return err
+	}
+	snap, err := cl2.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	// The crashed server durably appended killAt records under the dying
+	// sweep's journal lock; the other concurrent sweep can have landed
+	// at most one more append between that count and process death.
+	loaded := int(snap.StoreLoaded)
+	if loaded < killAt || loaded > killAt+1 {
+		return chaosFail("restart reloaded %d durable cells, the crash guaranteed %d (+1 for the concurrent sweep) — durable work was lost", loaded, killAt)
+	}
+
+	outA := make(chan sweepOutcome, 1)
+	outB := make(chan sweepOutcome, 1)
+	go func() { outA <- streamSweep(ctx, cl2, specA) }()
+	go func() { outB <- streamSweep(ctx, cl2, specB) }()
+	a, b := <-outA, <-outB
+	if a.err != nil || a.done == nil {
+		return chaosFail("resumed sweep A died: done=%v err=%v", a.done, a.err)
+	}
+	if b.err != nil || b.done == nil {
+		return chaosFail("resumed sweep B died: done=%v err=%v", b.done, b.err)
+	}
+	dA, dB := a.done.Metrics, b.done.Metrics
+
+	// Per-sweep coverage: served + computed feasible cells plus
+	// deterministic failures account for every cell, nothing skipped.
+	if dA.FromJournal+dA.FromShared+dA.Computed != feasibleA || dA.Failed != infeasibleA || dA.Skipped != 0 {
+		return chaosFail("sweep A accounting off: %d journal + %d shared + %d computed + %d failed + %d skipped over %d feasible / %d infeasible",
+			dA.FromJournal, dA.FromShared, dA.Computed, dA.Failed, dA.Skipped, feasibleA, infeasibleA)
+	}
+	if dB.FromJournal+dB.FromShared+dB.Computed != feasibleB || dB.Failed != infeasibleB || dB.Skipped != 0 {
+		return chaosFail("sweep B accounting off: %d journal + %d shared + %d computed + %d failed + %d skipped over %d feasible / %d infeasible",
+			dB.FromJournal, dB.FromShared, dB.Computed, dB.Failed, dB.Skipped, feasibleB, infeasibleB)
+	}
+	// Zero recompute and exactly-once dedup: across both sweeps, run 2
+	// computes each feasible cell no journal held exactly once.
+	if got, want := dA.Computed+dB.Computed, feasibleA-loaded; got != want {
+		return chaosFail("run 2 computed %d cells, want exactly %d (%d feasible − %d durable) — journaled cells recomputed or work was double-counted", got, want, feasibleA, loaded)
+	}
+	// Dedup observable: every feasible cell of the overlapping sweep is
+	// served to exactly one of the two sweeps from the shared store
+	// (whichever did not journal or compute it itself).
+	if got := dA.FromShared + dB.FromShared; got != feasibleB {
+		return chaosFail("shared-store dedup served %d cells, want exactly %d (the feasible overlap)", got, feasibleB)
+	}
+
+	// Bit-identity: the full sweep's streamed cells must stitch to the
+	// committed golden.
+	gotA := make([]expt.GoldenCell, 0, len(a.cells))
+	for _, ev := range a.cells {
+		gc := expt.GoldenCell{Kind: ev.Kind, Workload: ev.Workload, Trace: ev.Trace, Err: ev.Error}
+		if ev.Error == "" && ev.Result != nil {
+			gc.Fields = expt.FlattenResult(*ev.Result)
+		}
+		gotA = append(gotA, gc)
+	}
+	if err := expt.CompareGoldenCells(gotA, committed, subset); err != nil {
+		return chaosFail("stitched results diverged: %v", err)
+	}
+
+	fmt.Fprintf(stdout, "chaos-serve: PASS — %d durable cells reloaded, %d computed once across both sweeps, %d deduped via shared store, stitched matrix bit-identical\n",
+		loaded, dA.Computed+dB.Computed, dA.FromShared+dB.FromShared)
+	return nil
+}
+
+// countGolden counts feasible (Err == "") and infeasible committed
+// cells inside the population selected by the given design / workload /
+// trace restrictions (nil = unrestricted), erroring if the golden does
+// not pin the whole population.
+func countGolden(committed []expt.GoldenCell, designs, wls, trs []string) (feasible, infeasible int, err error) {
+	byID := make(map[string]expt.GoldenCell, len(committed))
+	for _, c := range committed {
+		byID[c.ID()] = c
+	}
+	ks := designs
+	if len(ks) == 0 {
+		for _, k := range expt.AllKinds() {
+			ks = append(ks, string(k))
+		}
+	}
+	if len(wls) == 0 {
+		wls = expt.GoldenWorkloads()
+	}
+	if len(trs) == 0 {
+		for _, s := range expt.GoldenSources() {
+			trs = append(trs, string(s))
+		}
+	}
+	for _, k := range ks {
+		for _, wl := range wls {
+			for _, tr := range trs {
+				c, ok := byID[k+"/"+wl+"/"+tr]
+				if !ok {
+					return 0, 0, fmt.Errorf("golden does not pin cell %s/%s/%s; the chaos gate needs the full population pinned", k, wl, tr)
+				}
+				if c.Err == "" {
+					feasible++
+				} else {
+					infeasible++
+				}
+			}
+		}
+	}
+	return feasible, infeasible, nil
 }
 
 // benchSchema identifies the -json output format.
@@ -458,8 +817,8 @@ func compareGolden(doc benchFile, goldenPath string) error {
 		mismatches = append(mismatches, fmt.Sprintf("%s: present in golden but not produced by this run", key))
 	}
 	if len(mismatches) > 0 {
-		return fmt.Errorf("simulation outcomes diverged from %s:\n  %s",
-			goldenPath, strings.Join(mismatches, "\n  "))
+		return fmt.Errorf("%w: simulation outcomes diverged from %s:\n  %s",
+			errMismatch, goldenPath, strings.Join(mismatches, "\n  "))
 	}
 	return nil
 }

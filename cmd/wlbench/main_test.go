@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -309,5 +310,94 @@ func TestSweepUnknownTraceRejected(t *testing.T) {
 	err := run([]string{"-sweep", "-traces", "tr99"}, &b)
 	if err == nil || !strings.Contains(err.Error(), "unknown power trace") {
 		t.Fatalf("unknown trace accepted: %v", err)
+	}
+	if code := exitCodeFor(err); code != 1 {
+		t.Fatalf("usage error exit code = %d, want 1", code)
+	}
+}
+
+// The documented exit codes: 1 usage/infra, 2 compare mismatch, 3
+// chaos failure — and a chaos failure whose symptom is a mismatch
+// stays 3, because scripts branch on which *gate* failed.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil is unreachable but safe", errors.New("plain"), 1},
+		{"usage", fmt.Errorf("unknown experiment %q", "x"), 1},
+		{"mismatch", fmt.Errorf("%w: checksum drifted", errMismatch), 2},
+		{"wrapped mismatch", fmt.Errorf("outer: %w", fmt.Errorf("%w: inner", errMismatch)), 2},
+		{"chaos", chaosFail("journaled work was lost"), 3},
+		{"chaos wrapping a mismatch", fmt.Errorf("%w: %w", errChaos, errMismatch), 3},
+	}
+	for _, c := range cases {
+		if got := exitCodeFor(c.err); got != c.want {
+			t.Errorf("%s: exitCodeFor(%v) = %d, want %d", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+// A failed golden comparison must classify as a mismatch (exit 2), not
+// a generic error: CI distinguishes "the run broke" from "the results
+// drifted".
+func TestCompareMismatchClassified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	// A golden pinning sha cells that a -workloads adpcmencode run never
+	// produces: compare completes and finds divergence.
+	var b strings.Builder
+	err := run([]string{"-compare", "testdata/bench_golden.json", "-workloads", "adpcmencode"}, &b)
+	if err == nil {
+		t.Fatal("divergent compare passed")
+	}
+	if !errors.Is(err, errMismatch) {
+		t.Fatalf("compare divergence not classified as mismatch: %v", err)
+	}
+	if code := exitCodeFor(err); code != 2 {
+		t.Fatalf("compare divergence exit code = %d, want 2", code)
+	}
+}
+
+// The end-to-end service chaos gate: two overlapping sweeps against a
+// live wlserve (this test binary re-exec'd via TestMain), SIGKILL at a
+// seed-chosen journal append, restart, resubmit; zero journaled cells
+// recompute, duplicates compute exactly once, and the stitched matrix
+// is bit-identical to the committed golden.
+func TestChaosServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs a server and runs two sweep subsets twice")
+	}
+	var b strings.Builder
+	err := run([]string{
+		"-chaos", "-serve", "-seed", "5",
+		"-data", t.TempDir(),
+		"-workloads", "adpcmencode",
+		"-golden", filepath.Join("..", "..", "internal", "expt", "testdata", "golden_results.json"),
+	}, &b)
+	if err != nil {
+		t.Fatalf("serve chaos gate failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "server killed mid-sweep") {
+		t.Fatalf("server was not killed:\n%s", out)
+	}
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "bit-identical") {
+		t.Fatalf("missing pass verdict:\n%s", out)
+	}
+}
+
+// The serve gate requires a committed golden: without one it cannot
+// prove bit-identity, so it must refuse to run (usage error, exit 1).
+func TestChaosServeNeedsGolden(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-chaos", "-serve"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "-golden") {
+		t.Fatalf("serve gate ran without a golden: %v", err)
+	}
+	if code := exitCodeFor(err); code != 1 {
+		t.Fatalf("missing-golden exit code = %d, want 1", code)
 	}
 }

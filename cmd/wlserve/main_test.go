@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"wlcache/internal/serve"
+)
+
+// lineWriter lets the test read the "listening on" line as run prints it.
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	lines chan string
+}
+
+func newLineWriter() *lineWriter {
+	return &lineWriter{lines: make(chan string, 16)}
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, _ := w.buf.Write(p)
+	for {
+		line, err := w.buf.ReadString('\n')
+		if err != nil {
+			// Partial line: put it back and wait for the rest.
+			w.buf.WriteString(line)
+			break
+		}
+		select {
+		case w.lines <- strings.TrimSpace(line):
+		default:
+		}
+	}
+	return n, nil
+}
+
+// TestRunServesAndDrains boots the CLI on a free port, submits the
+// smallest real sweep over HTTP, then SIGTERMs and verifies a clean
+// drain: run returns nil and the journal is on disk.
+func TestRunServesAndDrains(t *testing.T) {
+	dir := t.TempDir()
+	out := newLineWriter()
+	sig := make(chan os.Signal, 2)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-data", dir,
+			"-workers", "2",
+			"-drain", "30s",
+		}, out, sig)
+	}()
+
+	var addr string
+	select {
+	case line := <-out.lines:
+		const prefix = "listening on "
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("first output line = %q, want %q prefix", line, prefix)
+		}
+		addr = strings.TrimPrefix(line, prefix)
+	case err := <-runErr:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for listening line")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cl := &serve.Client{Base: "http://" + addr}
+	if err := cl.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Submit(ctx, serve.Spec{
+		Designs:   []string{"nvsram"},
+		Workloads: []string{"adpcmencode"},
+		Traces:    []string{"tr1"},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	cells, done, err := st.Drain()
+	st.Close()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if len(cells) != 1 || done == nil {
+		t.Fatalf("got %d cells, done=%v; want 1 cell and a done event", len(cells), done)
+	}
+	if cells[0].Error != "" {
+		t.Fatalf("cell failed: %s", cells[0].Error)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run after SIGTERM = %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if len(matches) != 1 {
+		t.Fatalf("journals on disk = %v, want exactly one", matches)
+	}
+}
+
+// TestRunRequiresData pins the usage error for a missing -data.
+func TestRunRequiresData(t *testing.T) {
+	err := run([]string{"-addr", "127.0.0.1:0"}, io.Discard, make(chan os.Signal))
+	if err == nil || !strings.Contains(err.Error(), "-data") {
+		t.Fatalf("run without -data = %v, want error naming -data", err)
+	}
+}
+
+// TestRunBadFlag pins flag parse errors surfacing as errors, not exits.
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	err := run([]string{"-no-such-flag"}, w, make(chan os.Signal))
+	if err == nil {
+		t.Fatal("run with unknown flag succeeded, want error")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 
+	"wlcache/internal/obs"
 	"wlcache/internal/power"
 	"wlcache/internal/runner"
 	"wlcache/internal/sim"
@@ -38,6 +39,9 @@ type Context struct {
 	// journal append, under the journal lock. The chaos harness kills
 	// the process here.
 	AfterJournal func(appended int)
+	// Obs, when non-nil, receives the runner's journal-reload metrics
+	// (records served, dropped records, torn-tail bytes).
+	Obs *obs.Registry
 }
 
 func (c Context) normalize() Context {
@@ -122,31 +126,45 @@ func runCellsReport(ctx Context, cells []cell) (runner.Report, error) {
 	ctx = ctx.normalize()
 	rcells := make([]runner.Cell, len(cells))
 	for i, c := range cells {
-		c := c
 		cfg := ctx.simConfig()
 		if c.simFn != nil {
 			c.simFn(&cfg)
 		}
-		scale := ctx.Scale
-		rcells[i] = runner.Cell{
-			ID:          fmt.Sprintf("%s/%s/%s", c.kind, c.wl, c.src),
-			Fingerprint: cellFingerprint(c.kind, c.opts, c.wl, scale, c.src, cfg),
-			Optional:    c.optional,
-			Run: func(context.Context) (sim.Result, error) {
-				return Run(c.kind, c.opts, c.wl, scale, c.src, cfg)
-			},
-		}
+		rc := RunnerCell(c.kind, c.opts, c.wl, ctx.Scale, c.src, cfg)
+		rc.Optional = c.optional
+		rcells[i] = rc
 	}
 	rep, err := runner.RunCells(ctx.Ctx, runner.Config{
 		Workers:      ctx.Parallelism,
 		Engine:       sim.EngineVersion,
 		JournalPath:  ctx.Journal,
 		AfterJournal: ctx.AfterJournal,
+		Obs:          ctx.Obs,
 	}, rcells)
 	if ctx.Metrics != nil {
 		*ctx.Metrics = rep.Metrics
 	}
 	return rep, err
+}
+
+// RunnerCell builds the crash-resumable runner cell for one
+// (design, options, workload, scale, trace, sim config) request — the
+// same ID / content fingerprint / Run closure expt's own sweeps
+// submit. External drivers (the wlserve sweep service) build their
+// cells through this, so their content addresses — and therefore
+// journals, shared caches and the committed golden — are interchangeable
+// with in-process sweeps.
+func RunnerCell(kind Kind, opts Options, wl string, scale int, src power.Source, cfg sim.Config) runner.Cell {
+	if scale <= 0 {
+		scale = 1
+	}
+	return runner.Cell{
+		ID:          fmt.Sprintf("%s/%s/%s", kind, wl, src),
+		Fingerprint: cellFingerprint(kind, opts, wl, scale, src, cfg),
+		Run: func(context.Context) (sim.Result, error) {
+			return Run(kind, opts, wl, scale, src, cfg)
+		},
+	}
 }
 
 // cellFingerprint canonically serializes everything that determines a

@@ -1,0 +1,126 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wlcache/internal/sim"
+)
+
+// The backoff schedule doubles from base, saturates at the cap, and
+// never overflows into a negative (shorter) sleep no matter how many
+// attempts pile up.
+func TestBackoffSchedule(t *testing.T) {
+	base, cap := 10*time.Millisecond, 80*time.Millisecond
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for attempt, w := range want {
+		if got := backoffFor(base, cap, attempt); got != w*time.Millisecond {
+			t.Errorf("attempt %d: backoff = %v, want %v", attempt, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffDisabledAndOverflow(t *testing.T) {
+	if got := backoffFor(0, time.Second, 5); got != 0 {
+		t.Errorf("zero base must disable backoff, got %v", got)
+	}
+	// Enough doublings to overflow int64 twice over: the schedule must
+	// saturate at the cap, not wrap negative.
+	if got := backoffFor(time.Second, math.MaxInt64, 200); got != math.MaxInt64 {
+		t.Errorf("overflowing schedule = %v, want saturation at the cap", got)
+	}
+	for attempt := 0; attempt < 128; attempt++ {
+		if got := backoffFor(time.Millisecond, time.Second, attempt); got < 0 || got > time.Second {
+			t.Fatalf("attempt %d: backoff %v escapes [0, cap]", attempt, got)
+		}
+	}
+}
+
+// Exhausting MaxAttempts surfaces the cell's own last error — message
+// and classification intact — not a synthetic "retries exhausted"
+// wrapper that would hide what actually failed.
+func TestExhaustionSurfacesOriginalError(t *testing.T) {
+	_, err := RunCells(context.Background(), Config{
+		Workers: 1, Engine: "test", MaxAttempts: 2,
+		BackoffBase: time.Microsecond, BackoffMax: time.Microsecond,
+	}, []Cell{{ID: "down", Run: func(context.Context) (sim.Result, error) {
+		return sim.Result{}, fmt.Errorf("%w: disk on fire", ErrTransient)
+	}}})
+	if err == nil {
+		t.Fatal("exhausted cell returned nil error")
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("original classification lost: %v", err)
+	}
+	if !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("original message lost: %v", err)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.ID != "down" {
+		t.Fatalf("error not attributed to the failing cell: %v", err)
+	}
+}
+
+// A custom Retryable classifier overrides the ErrTransient default in
+// both directions: it can retry errors that do not wrap ErrTransient
+// and refuse ones that do.
+func TestCustomRetryClassifier(t *testing.T) {
+	errFlaky := errors.New("flaky io")
+	var flakyTries, transientTries atomic.Int64
+	cells := []Cell{
+		{ID: "custom-transient", Run: func(context.Context) (sim.Result, error) {
+			if flakyTries.Add(1) < 2 {
+				return sim.Result{}, errFlaky
+			}
+			return fakeResult(1), nil
+		}},
+		{ID: "custom-permanent", Optional: true, Run: func(context.Context) (sim.Result, error) {
+			transientTries.Add(1)
+			return sim.Result{}, fmt.Errorf("%w: would retry by default", ErrTransient)
+		}},
+	}
+	rep, err := RunCells(context.Background(), Config{
+		Workers: 1, Engine: "test", MaxAttempts: 5,
+		BackoffBase: time.Microsecond, BackoffMax: time.Microsecond,
+		Retryable: func(err error) bool { return errors.Is(err, errFlaky) },
+	}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flakyTries.Load(); got != 2 {
+		t.Fatalf("classifier-transient cell ran %d times, want 2", got)
+	}
+	if got := transientTries.Load(); got != 1 {
+		t.Fatalf("classifier-permanent cell ran %d times, want 1 (no retry)", got)
+	}
+	if rep.Metrics.Retries != 1 || rep.Metrics.OptionalFailed != 1 {
+		t.Fatalf("metrics %+v", rep.Metrics)
+	}
+}
+
+// Panics classify as permanent: one attempt, no retry, typed error.
+func TestPanicIsPermanent(t *testing.T) {
+	var tries atomic.Int64
+	rep, err := RunCells(context.Background(), Config{
+		Workers: 1, Engine: "test", MaxAttempts: 5,
+		BackoffBase: time.Microsecond, BackoffMax: time.Microsecond,
+	}, []Cell{{ID: "boom", Optional: true, Run: func(context.Context) (sim.Result, error) {
+		tries.Add(1)
+		panic("kaboom")
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tries.Load(); got != 1 {
+		t.Fatalf("panicking cell ran %d times, want 1 (permanent)", got)
+	}
+	if !errors.Is(rep.Errs[0], ErrCellPanic) || rep.Metrics.Retries != 0 {
+		t.Fatalf("err %v, metrics %+v", rep.Errs[0], rep.Metrics)
+	}
+}

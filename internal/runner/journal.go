@@ -64,6 +64,14 @@ type LoadStats struct {
 	// unterminated) record, discarded on reload — the expected damage
 	// shape for a crash mid-append.
 	TornTail bool
+	// TornTailBytes counts the bytes discarded with the torn tail, so
+	// reload loss is quantified, never silent.
+	TornTailBytes int
+	// Dropped counts every whole record present in the file but not
+	// served on reload: Duplicates + Rejected + records discarded
+	// wholesale on an engine mismatch. The torn tail is not a whole
+	// record and is accounted by TornTailBytes instead.
+	Dropped int
 	// EngineMismatch is true when the journal belonged to a different
 	// engine version; all of its records were discarded and the file
 	// restarted, since no address could ever be served anyway.
@@ -169,6 +177,7 @@ func scanJournal(data []byte, engine string, results map[string]sim.Result, stat
 					// Crash while creating the journal: the header
 					// itself is the torn tail. Restart.
 					stats.TornTail = true
+					stats.TornTailBytes = len(data)
 					return 0, true, nil
 				}
 				return 0, false, fmt.Errorf("%w: unreadable header: %v", ErrJournalCorrupt, jerr)
@@ -179,6 +188,7 @@ func scanJournal(data []byte, engine string, results map[string]sim.Result, stat
 			}
 			if h.Engine != engine {
 				stats.EngineMismatch = true
+				stats.Dropped += countLines(data[end:])
 				return 0, true, nil
 			}
 			keep, off = end, end
@@ -189,6 +199,7 @@ func scanJournal(data []byte, engine string, results map[string]sim.Result, stat
 		if jerr := json.Unmarshal(line, &r); jerr != nil || torn {
 			if end == len(data) {
 				stats.TornTail = true
+				stats.TornTailBytes = len(data) - keep
 				return keep, false, nil
 			}
 			return 0, false, fmt.Errorf("%w: unreadable record on line %d: %v", ErrJournalCorrupt, lineNo, jerr)
@@ -196,16 +207,52 @@ func scanJournal(data []byte, engine string, results map[string]sim.Result, stat
 		keep, off = end, end
 		if r.Addr != Address(engine, r.Fingerprint) {
 			stats.Rejected++
+			stats.Dropped++
 			continue
 		}
 		if _, dup := results[r.Addr]; dup {
 			stats.Duplicates++
+			stats.Dropped++
 			stats.Records--
 		}
 		results[r.Addr] = r.Result
 		stats.Records++
 	}
 	return keep, false, nil
+}
+
+// countLines counts newline-terminated lines — whole records; a
+// trailing partial line is torn, not a record.
+func countLines(data []byte) int {
+	return bytes.Count(data, []byte{'\n'})
+}
+
+// ReadJournal loads the valid records of a journal without opening it
+// for append and without repairing its tail: a pure read, safe on a
+// journal another process is still writing. A missing file returns an
+// empty map. An engine mismatch returns an empty map with
+// stats.EngineMismatch set. Interior corruption wraps
+// ErrJournalCorrupt, exactly as OpenJournal would.
+func ReadJournal(path, engine string) (map[string]sim.Result, LoadStats, error) {
+	var stats LoadStats
+	results := make(map[string]sim.Result)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return results, stats, nil
+		}
+		return nil, stats, err
+	}
+	if len(data) == 0 {
+		return results, stats, nil
+	}
+	if _, fresh, err := scanJournal(data, engine, results, &stats); err != nil {
+		return nil, stats, err
+	} else if fresh {
+		// Torn header or foreign engine: nothing servable.
+		return make(map[string]sim.Result), stats, nil
+	}
+	return results, stats, nil
 }
 
 // Append durably records one completed cell: the line is written and

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wlcache/internal/obs"
 	"wlcache/internal/sim"
 )
 
@@ -85,6 +86,47 @@ type Config struct {
 	// harness kills the process here to get a bit-exactly known
 	// journal state.
 	AfterJournal func(n int)
+	// Shared, when set, is a cross-sweep single-flight result store:
+	// content-addressable cells are served from it when already
+	// published, and concurrent sweeps racing on the same address
+	// compute it exactly once. Cells served from the shared store are
+	// NOT appended to this sweep's journal — the sweep that computed
+	// them journaled them, and a restarted server reloads every journal
+	// into the store.
+	Shared *Flight
+	// OnCell, when set, is invoked once per submitted cell as its
+	// outcome becomes known, carrying the result (or error) and where
+	// it came from. It may be called concurrently from worker
+	// goroutines; the sweep service uses it to stream per-cell results
+	// to clients as they land.
+	OnCell func(done CellDone)
+	// Obs, when set, receives journal-reload metrics
+	// (runner.journal.records / dropped_records / torn_tail_bytes).
+	// It is written once, before any workers start, on the calling
+	// goroutine.
+	Obs *obs.Registry
+}
+
+// CellSource says where a cell's outcome came from.
+type CellSource string
+
+// The cell outcome sources.
+const (
+	SourceJournal  CellSource = "journal"  // reloaded from this sweep's journal
+	SourceShared   CellSource = "shared"   // served by the cross-sweep shared store
+	SourceDedup    CellSource = "dedup"    // identical cell completed earlier in this run
+	SourceComputed CellSource = "computed" // executed in this run
+	SourceFailed   CellSource = "failed"   // permanent failure
+	SourceSkipped  CellSource = "skipped"  // never attempted (cancellation / deadline)
+)
+
+// CellDone reports one finished cell to Config.OnCell.
+type CellDone struct {
+	Index  int
+	ID     string
+	Result sim.Result
+	Err    error
+	Source CellSource
 }
 
 func (c Config) normalize() Config {
@@ -112,6 +154,7 @@ func (c Config) normalize() Config {
 type Metrics struct {
 	Cells          int // submitted
 	FromJournal    int // served from the reloaded journal, no recompute
+	FromShared     int // served from the cross-sweep shared store, no recompute
 	Deduped        int // served from an identical cell completed earlier in this run
 	Computed       int // executed to success in this run
 	Failed         int // permanent failure of a required cell
@@ -177,6 +220,17 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 		defer journal.Close()
 		journal.afterAppend = cfg.AfterJournal
 		rep.Metrics.Journal = stats
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("runner.journal.records", obs.DirNone).Add(uint64(stats.Records))
+			cfg.Obs.Counter("runner.journal.dropped_records", obs.DirLower).Add(uint64(stats.Dropped))
+			cfg.Obs.Counter("runner.journal.torn_tail_bytes", obs.DirLower).Add(uint64(stats.TornTailBytes))
+		}
+	}
+
+	emit := func(i int, res sim.Result, err error, src CellSource) {
+		if cfg.OnCell != nil {
+			cfg.OnCell(CellDone{Index: i, ID: cells[i].ID, Result: res, Err: err, Source: src})
+		}
 	}
 
 	// Serve journaled cells first: zero recomputation, no worker
@@ -189,6 +243,7 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 			if res, ok := cache[addrs[i]]; ok {
 				rep.Results[i] = res
 				rep.Metrics.FromJournal++
+				emit(i, res, nil, SourceJournal)
 				continue
 			}
 		}
@@ -197,7 +252,7 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 
 	var (
 		mu        sync.Mutex // guards cache and journErr beyond this point
-		counters  struct{ computed, failed, optFailed, skipped, retries, panics, deduped atomic.Int64 }
+		counters  struct{ computed, failed, optFailed, skipped, retries, panics, deduped, fromShared atomic.Int64 }
 		journErr  error // first journal append error
 		attempted = make([]atomic.Bool, len(cells))
 	)
@@ -228,11 +283,25 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 					if ok {
 						rep.Results[i] = res
 						counters.deduped.Add(1)
+						emit(i, res, nil, SourceDedup)
 						continue
 					}
 				}
 
-				res, err := runCell(ctx, cfg, c, &counters.retries, &counters.panics)
+				var res sim.Result
+				var err error
+				src := SourceComputed
+				if cfg.Shared != nil && addrs[i] != "" {
+					var computed bool
+					res, computed, err = cfg.Shared.Do(ctx, addrs[i], func() (sim.Result, error) {
+						return runCell(ctx, cfg, c, &counters.retries, &counters.panics)
+					})
+					if err == nil && !computed {
+						src = SourceShared
+					}
+				} else {
+					res, err = runCell(ctx, cfg, c, &counters.retries, &counters.panics)
+				}
 				if err != nil {
 					rep.Errs[i] = &CellError{Index: i, ID: c.ID, Err: err}
 					if c.Optional {
@@ -240,17 +309,24 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 					} else {
 						counters.failed.Add(1)
 					}
+					emit(i, sim.Result{}, rep.Errs[i], SourceFailed)
 					continue
 				}
 				rep.Results[i] = res
-				counters.computed.Add(1)
-				if journal != nil && addrs[i] != "" {
-					if aerr := journal.Append(addrs[i], c.ID, c.Fingerprint, res); aerr != nil {
-						mu.Lock()
-						if journErr == nil {
-							journErr = aerr
+				if src == SourceShared {
+					// Another sweep computed (and journaled) this cell;
+					// serving it here is pure dedup, not new work.
+					counters.fromShared.Add(1)
+				} else {
+					counters.computed.Add(1)
+					if journal != nil && addrs[i] != "" {
+						if aerr := journal.Append(addrs[i], c.ID, c.Fingerprint, res); aerr != nil {
+							mu.Lock()
+							if journErr == nil {
+								journErr = aerr
+							}
+							mu.Unlock()
 						}
-						mu.Unlock()
 					}
 				}
 				if addrs[i] != "" {
@@ -258,6 +334,7 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 					cache[addrs[i]] = res
 					mu.Unlock()
 				}
+				emit(i, res, nil, src)
 			}
 		}()
 	}
@@ -282,10 +359,12 @@ feed:
 			}
 			rep.Errs[i] = &CellError{Index: i, ID: cells[i].ID, Err: errorsJoin(ErrSkipped, cause)}
 			counters.skipped.Add(1)
+			emit(i, sim.Result{}, rep.Errs[i], SourceSkipped)
 		}
 	}
 
 	rep.Metrics.Computed = int(counters.computed.Load())
+	rep.Metrics.FromShared = int(counters.fromShared.Load())
 	rep.Metrics.Failed = int(counters.failed.Load())
 	rep.Metrics.OptionalFailed = int(counters.optFailed.Load())
 	rep.Metrics.Skipped = int(counters.skipped.Load())
@@ -329,16 +408,33 @@ func runCell(ctx context.Context, cfg Config, c Cell, retries, panics *atomic.In
 		}
 		if attempt+1 < cfg.MaxAttempts {
 			retries.Add(1)
-			backoff := cfg.BackoffBase << attempt
-			if backoff > cfg.BackoffMax {
-				backoff = cfg.BackoffMax
-			}
-			if !sleepCtx(cctx, backoff) {
+			if !sleepCtx(cctx, backoffFor(cfg.BackoffBase, cfg.BackoffMax, attempt)) {
 				break
 			}
 		}
 	}
 	return sim.Result{}, last
+}
+
+// backoffFor returns the pause before the retry that follows the given
+// zero-based attempt: BackoffBase doubling per attempt, capped at
+// BackoffMax (overflow-safe, so a huge attempt count saturates at the
+// cap instead of wrapping negative).
+func backoffFor(base, cap time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	b := base
+	for i := 0; i < attempt; i++ {
+		b <<= 1
+		if b >= cap || b <= 0 {
+			return cap
+		}
+	}
+	if b > cap {
+		return cap
+	}
+	return b
 }
 
 // safeRun isolates a cell panic to a typed error instead of

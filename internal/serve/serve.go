@@ -1,0 +1,620 @@
+// Package serve is the crash-tolerant HTTP sweep service: clients POST
+// a sweep spec (designs × workloads × traces × parameter grid), cells
+// are sharded across a bounded worker pool, and per-cell results
+// stream back as NDJSON as they land.
+//
+// Robustness is the contract, not a feature flag. Every accepted sweep
+// is backed by a wlrun/v1 journal keyed by the spec's content hash, so
+// a SIGKILL'd server restarts and resumes every sweep — resubmitting
+// an identical spec serves every journaled cell with zero
+// recomputation. A shared content-addressed single-flight store dedupes
+// overlapping sweeps from concurrent clients to near-zero work: a cell
+// is computed once per server lifetime no matter how many sweeps
+// request it. Overload and crash are first-class states: admission
+// control sheds load with 429 + Retry-After when the queue is full,
+// per-request and per-cell deadline budgets degrade to deterministic
+// skips, transient cell errors retry with capped backoff, worker panics
+// are isolated to their cell, and graceful shutdown drains or journals
+// every in-flight cell within a configured deadline. /healthz and
+// /readyz expose liveness and drain state; /metricz exposes the
+// counters the chaos gate audits (zero recompute, exactly-once
+// compute).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wlcache/internal/runner"
+	"wlcache/internal/sim"
+)
+
+// Config tunes a Server. Zero values mean the documented defaults.
+type Config struct {
+	// DataDir holds the per-sweep wlrun/v1 journals; it is scanned at
+	// startup to rebuild the shared result store. Required.
+	DataDir string
+	// Engine is the engine version mixed into every content address
+	// (default sim.EngineVersion).
+	Engine string
+	// Workers bounds each sweep's worker pool (0 = NumCPU).
+	Workers int
+	// MaxConcurrent bounds sweeps running at once (0 = 2).
+	MaxConcurrent int
+	// MaxQueue bounds sweeps waiting for a run slot; a submission
+	// beyond it is shed with 429 + Retry-After (0 = 8).
+	MaxQueue int
+	// MaxCells bounds a single spec's cell count (0 = 10000).
+	MaxCells int
+	// RetryAfter is the hint returned with shed load (0 = 5s).
+	RetryAfter time.Duration
+	// RequestBudget bounds one sweep's wall time; cells not started
+	// when it expires become deterministic skips (0 = none).
+	RequestBudget time.Duration
+	// CellBudget is the per-cell deadline, and the cap on a spec's
+	// cell_budget_ms (0 = none).
+	CellBudget time.Duration
+	// MaxAttempts bounds tries per cell for transient failures
+	// (0 = runner default).
+	MaxAttempts int
+	// AfterJournal, when set, runs after the n-th journal append
+	// server-wide becomes durable, under that journal's append lock —
+	// the chaos harness SIGKILLs the process here.
+	AfterJournal func(total int)
+	// Log receives operational messages (nil = discard).
+	Log *log.Logger
+}
+
+func (c Config) normalize() Config {
+	if c.Engine == "" {
+		c.Engine = sim.EngineVersion
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 8
+	}
+	if c.MaxCells <= 0 {
+		c.MaxCells = 10000
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 5 * time.Second
+	}
+	if c.Log == nil {
+		c.Log = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// counters are the server-wide atomics surfaced by /metricz.
+type counters struct {
+	sweepsAccepted    atomic.Int64
+	sweepsRejected    atomic.Int64
+	sweepsUnavailable atomic.Int64
+	sweepsCompleted   atomic.Int64
+	cellsComputed     atomic.Int64
+	cellsFromJournal  atomic.Int64
+	cellsFromShared   atomic.Int64
+	cellsDeduped      atomic.Int64
+	cellsFailed       atomic.Int64
+	cellsSkipped      atomic.Int64
+	cellsRetried      atomic.Int64
+	cellsPanicked     atomic.Int64
+	journalAppends    atomic.Int64
+	journalDropped    atomic.Int64
+	journalTornBytes  atomic.Int64
+	quarantined       atomic.Int64
+}
+
+// MetricsSnapshot is the /metricz document. The chaos gate's equations
+// read it: StoreLoaded must equal the journal population at the crash,
+// and CellsComputed must cover exactly the cells no journal held —
+// with overlapping concurrent sweeps computing every duplicate exactly
+// once (visible as CellsFromShared).
+type MetricsSnapshot struct {
+	SweepsAccepted    int64 `json:"sweeps_accepted"`
+	SweepsRejected    int64 `json:"sweeps_rejected"`
+	SweepsUnavailable int64 `json:"sweeps_unavailable"`
+	SweepsCompleted   int64 `json:"sweeps_completed"`
+	SweepsActive      int64 `json:"sweeps_active"`
+	SweepsQueued      int64 `json:"sweeps_queued"`
+
+	CellsComputed    int64 `json:"cells_computed"`
+	CellsFromJournal int64 `json:"cells_from_journal"`
+	CellsFromShared  int64 `json:"cells_from_shared"`
+	CellsDeduped     int64 `json:"cells_deduped"`
+	CellsFailed      int64 `json:"cells_failed"`
+	CellsSkipped     int64 `json:"cells_skipped"`
+	CellsRetried     int64 `json:"cells_retried"`
+	CellsPanicked    int64 `json:"cells_panicked"`
+
+	StoreLoaded         int64 `json:"store_loaded"`
+	StoreSize           int64 `json:"store_size"`
+	JournalAppends      int64 `json:"journal_appends"`
+	JournalDropped      int64 `json:"journal_dropped_records"`
+	JournalTornBytes    int64 `json:"journal_torn_tail_bytes"`
+	JournalsQuarantined int64 `json:"journals_quarantined"`
+	Draining            bool  `json:"draining"`
+}
+
+// Server is the sweep service.
+type Server struct {
+	cfg   Config
+	store *runner.Flight
+	mux   *http.ServeMux
+	hs    *http.Server
+
+	sem     chan struct{} // run slots
+	drainCh chan struct{}
+	mu      sync.Mutex // guards waiting, draining
+	waiting int
+	drained bool
+	active  sync.WaitGroup
+
+	// hardCtx cancels in-flight sweeps when the drain deadline passes.
+	hardCtx    context.Context
+	hardCancel context.CancelCauseFunc
+
+	appends     atomic.Int64
+	storeLoaded int64
+	c           counters
+
+	// beforeRun, when set, runs after a sweep wins admission and
+	// before its cells execute. Tests use it to hold run slots at
+	// deterministic points.
+	beforeRun func(sweepID string)
+}
+
+// New builds a Server and rebuilds the shared result store from every
+// journal in DataDir: after a crash, every durably journaled cell is
+// servable again before the first request lands. A corrupt journal is
+// quarantined (renamed aside) and logged, never fatal — the sweep that
+// owns it recomputes.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.normalize()
+	if cfg.DataDir == "" {
+		return nil, errors.New("serve: Config.DataDir is required")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	hardCtx, hardCancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		store:      runner.NewFlight(),
+		mux:        http.NewServeMux(),
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		drainCh:    make(chan struct{}),
+		hardCtx:    hardCtx,
+		hardCancel: hardCancel,
+	}
+	if err := s.loadStore(); err != nil {
+		return nil, err
+	}
+	s.mux.HandleFunc("/v1/sweeps", s.handleSweeps)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	return s, nil
+}
+
+// loadStore seeds the shared store from every journal in DataDir.
+func (s *Server) loadStore() error {
+	paths, err := filepath.Glob(filepath.Join(s.cfg.DataDir, "*.jsonl"))
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		results, stats, err := runner.ReadJournal(p, s.cfg.Engine)
+		if err != nil {
+			// Interior corruption: quarantine so the owning sweep
+			// restarts clean, and keep serving everything else.
+			s.quarantine(p, err)
+			continue
+		}
+		for addr, res := range results {
+			s.store.Seed(addr, res)
+		}
+		s.noteLoadStats(stats)
+	}
+	s.storeLoaded = int64(s.store.Len())
+	s.cfg.Log.Printf("serve: store loaded: %d results from %d journals", s.storeLoaded, len(paths))
+	return nil
+}
+
+// quarantine renames a corrupt journal aside so its sweep restarts
+// from scratch instead of failing forever.
+func (s *Server) quarantine(path string, cause error) {
+	s.c.quarantined.Add(1)
+	dst := path + ".corrupt"
+	if err := os.Rename(path, dst); err != nil {
+		s.cfg.Log.Printf("serve: quarantine %s failed: %v (corruption: %v)", path, err, cause)
+		return
+	}
+	s.cfg.Log.Printf("serve: quarantined corrupt journal %s -> %s: %v", path, dst, cause)
+}
+
+// noteLoadStats folds one journal reload's loss accounting into the
+// server metrics, logging any non-zero loss (a torn tail is expected
+// crash damage, but never silent).
+func (s *Server) noteLoadStats(stats runner.LoadStats) {
+	s.c.journalDropped.Add(int64(stats.Dropped))
+	s.c.journalTornBytes.Add(int64(stats.TornTailBytes))
+	if stats.Dropped > 0 || stats.TornTailBytes > 0 {
+		s.cfg.Log.Printf("serve: journal reload: %d records served, %d dropped, %d torn-tail bytes",
+			stats.Records, stats.Dropped, stats.TornTailBytes)
+	}
+}
+
+// Handler returns the service's HTTP handler (httptest-friendly).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections until Shutdown or a listener error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.hs = &http.Server{Handler: s.mux}
+	err := s.hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: new submissions are refused (503 /
+// readyz), queued sweeps are released with 503, and running sweeps
+// finish. If ctx expires first, in-flight sweep contexts are
+// cancelled: the cells already running complete and journal (a
+// simulation is not preemptible), every unstarted cell becomes a
+// deterministic skip, and the streams still end with a well-formed
+// done event. Returns ctx.Err() when the deadline forced the
+// degradation, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.drained {
+		s.drained = true
+		close(s.drainCh)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.active.Wait()
+		close(done)
+	}()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.hardCancel(fmt.Errorf("serve: shutdown drain deadline: %w", ctx.Err()))
+		<-done
+	}
+	if s.hs != nil {
+		// Handlers are done; this just closes the listener and idles.
+		_ = s.hs.Shutdown(context.Background())
+	}
+	return forced
+}
+
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drained
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Metrics())
+}
+
+// Metrics snapshots the server-wide counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	queued := int64(s.waiting)
+	s.mu.Unlock()
+	return MetricsSnapshot{
+		SweepsAccepted:      s.c.sweepsAccepted.Load(),
+		SweepsRejected:      s.c.sweepsRejected.Load(),
+		SweepsUnavailable:   s.c.sweepsUnavailable.Load(),
+		SweepsCompleted:     s.c.sweepsCompleted.Load(),
+		SweepsActive:        int64(len(s.sem)),
+		SweepsQueued:        queued,
+		CellsComputed:       s.c.cellsComputed.Load(),
+		CellsFromJournal:    s.c.cellsFromJournal.Load(),
+		CellsFromShared:     s.c.cellsFromShared.Load(),
+		CellsDeduped:        s.c.cellsDeduped.Load(),
+		CellsFailed:         s.c.cellsFailed.Load(),
+		CellsSkipped:        s.c.cellsSkipped.Load(),
+		CellsRetried:        s.c.cellsRetried.Load(),
+		CellsPanicked:       s.c.cellsPanicked.Load(),
+		StoreLoaded:         s.storeLoaded,
+		StoreSize:           int64(s.store.Len()),
+		JournalAppends:      s.appends.Load(),
+		JournalDropped:      s.c.journalDropped.Load(),
+		JournalTornBytes:    s.c.journalTornBytes.Load(),
+		JournalsQuarantined: s.c.quarantined.Load(),
+		Draining:            s.draining(),
+	}
+}
+
+// admitStatus is the admission verdict for one submission.
+type admitStatus int
+
+const (
+	admitted         admitStatus = iota
+	admitShed                    // queue full: 429 + Retry-After
+	admitUnavailable             // draining: 503
+	admitGone                    // client went away while queued
+)
+
+// admit implements admission control: a free run slot admits
+// immediately; otherwise the submission queues (bounded by MaxQueue)
+// until a slot frees, the client gives up, or the server drains. A
+// full queue sheds deterministically with 429 + Retry-After.
+func (s *Server) admit(ctx context.Context) (func(), admitStatus) {
+	s.mu.Lock()
+	if s.drained {
+		s.mu.Unlock()
+		return nil, admitUnavailable
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.active.Add(1)
+		s.mu.Unlock()
+		return s.releaseSlot, admitted
+	default:
+	}
+	if s.waiting >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		return nil, admitShed
+	}
+	s.waiting++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.waiting--
+		s.mu.Unlock()
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		if !s.tryActivate() {
+			s.releaseSlot()
+			return nil, admitUnavailable
+		}
+		return s.releaseSlot, admitted
+	case <-ctx.Done():
+		return nil, admitGone
+	case <-s.drainCh:
+		return nil, admitUnavailable
+	}
+}
+
+// tryActivate registers one admitted sweep on the drain WaitGroup.
+// The Add must happen under the same lock that checks drained: a bare
+// Add in the handler could race Shutdown's Wait at counter zero, and
+// Shutdown could return while the sweep was still starting.
+func (s *Server) tryActivate() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return false
+	}
+	s.active.Add(1)
+	return true
+}
+
+func (s *Server) releaseSlot() { <-s.sem }
+
+// httpError writes a small JSON error document.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSweeps is POST /v1/sweeps: validate, admit, then execute the
+// sweep through the crash-resumable runner, streaming NDJSON events.
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a sweep spec")
+		return
+	}
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	spec = spec.normalize()
+	if err := spec.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	if n := spec.NumCells(); n > s.cfg.MaxCells {
+		httpError(w, http.StatusBadRequest, "sweep has %d cells, limit %d", n, s.cfg.MaxCells)
+		return
+	}
+	sweepID := spec.ID(s.cfg.Engine)
+
+	release, verdict := s.admit(r.Context())
+	switch verdict {
+	case admitShed:
+		s.c.sweepsRejected.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		httpError(w, http.StatusTooManyRequests, "sweep queue full, retry after %s", s.cfg.RetryAfter)
+		return
+	case admitUnavailable:
+		s.c.sweepsUnavailable.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	case admitGone:
+		return
+	}
+	// admit already counted this sweep on the drain WaitGroup.
+	defer s.active.Done()
+	defer release()
+	if s.beforeRun != nil {
+		s.beforeRun(sweepID)
+	}
+	s.c.sweepsAccepted.Add(1)
+	s.runSweep(w, r, spec, sweepID)
+	s.c.sweepsCompleted.Add(1)
+}
+
+// runSweep executes one admitted sweep and streams its events.
+func (s *Server) runSweep(w http.ResponseWriter, r *http.Request, spec Spec, sweepID string) {
+	planned := spec.cells()
+	cells := make([]runner.Cell, len(planned))
+	for i, p := range planned {
+		cells[i] = p.cell
+	}
+
+	// The sweep context: client disconnect, the per-request budget, and
+	// the shutdown drain deadline all cancel it; the runner degrades
+	// every unstarted cell to a deterministic skip.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopWatch := context.AfterFunc(s.hardCtx, cancel)
+	defer stopWatch()
+	if s.hardCtx.Err() != nil {
+		// AfterFunc fires asynchronously; a sweep starting after the
+		// drain deadline must skip its cells deterministically, not race
+		// the cancellation for its first few.
+		cancel()
+	}
+	if s.cfg.RequestBudget > 0 {
+		var cancelBudget context.CancelFunc
+		ctx, cancelBudget = context.WithTimeout(ctx, s.cfg.RequestBudget)
+		defer cancelBudget()
+	}
+
+	cellBudget := s.cfg.CellBudget
+	if spec.CellBudgetMS > 0 {
+		b := time.Duration(spec.CellBudgetMS) * time.Millisecond
+		if cellBudget == 0 || b < cellBudget {
+			cellBudget = b
+		}
+	}
+
+	journalPath := filepath.Join(s.cfg.DataDir, sweepID+".jsonl")
+	if _, _, err := runner.ReadJournal(journalPath, s.cfg.Engine); err != nil {
+		// Pre-flight: a corrupt journal would fail the sweep at open;
+		// quarantine it and start clean instead.
+		s.quarantine(journalPath, err)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Sweep-Id", sweepID)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeEvent := func(ev Event) {
+		// A client that vanished mid-stream surfaces as write errors;
+		// the sweep still runs to completion and journals (the next
+		// resubmission is then free).
+		_ = enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeEvent(Event{Type: EventAccepted, Sweep: sweepID, Cells: len(cells)})
+
+	events := make(chan runner.CellDone, 256)
+	var rep runner.Report
+	var runErr error
+	go func() {
+		defer close(events)
+		rep, runErr = runner.RunCells(ctx, runner.Config{
+			Workers:     s.cfg.Workers,
+			Engine:      s.cfg.Engine,
+			JournalPath: journalPath,
+			MaxAttempts: s.cfg.MaxAttempts,
+			CellBudget:  cellBudget,
+			Shared:      s.store,
+			AfterJournal: func(int) {
+				n := s.appends.Add(1)
+				if s.cfg.AfterJournal != nil {
+					s.cfg.AfterJournal(int(n))
+				}
+			},
+			OnCell: func(d runner.CellDone) { events <- d },
+		}, cells)
+	}()
+
+	for d := range events {
+		ev := Event{
+			Type:     EventCell,
+			Index:    d.Index,
+			ID:       d.ID,
+			Kind:     planned[d.Index].meta.Kind,
+			Workload: planned[d.Index].meta.Workload,
+			Trace:    planned[d.Index].meta.Trace,
+			Source:   string(d.Source),
+		}
+		if d.Err != nil {
+			// Surface the underlying simulator error exactly as the
+			// golden pins it, not the runner's cell-attributed wrapper.
+			var ce *runner.CellError
+			if errors.As(d.Err, &ce) {
+				ev.Error = ce.Err.Error()
+			} else {
+				ev.Error = d.Err.Error()
+			}
+		} else {
+			res := d.Result
+			ev.Result = &res
+		}
+		writeEvent(ev)
+	}
+
+	s.c.cellsComputed.Add(int64(rep.Metrics.Computed))
+	s.c.cellsFromJournal.Add(int64(rep.Metrics.FromJournal))
+	s.c.cellsFromShared.Add(int64(rep.Metrics.FromShared))
+	s.c.cellsDeduped.Add(int64(rep.Metrics.Deduped))
+	s.c.cellsFailed.Add(int64(rep.Metrics.Failed + rep.Metrics.OptionalFailed))
+	s.c.cellsSkipped.Add(int64(rep.Metrics.Skipped))
+	s.c.cellsRetried.Add(int64(rep.Metrics.Retries))
+	s.c.cellsPanicked.Add(int64(rep.Metrics.Panics))
+	s.noteLoadStats(rep.Metrics.Journal)
+
+	doneEv := Event{Type: EventDone, Sweep: sweepID, Metrics: sweepMetricsFrom(rep.Metrics)}
+	if runErr != nil {
+		// Cells are all tolerated, so this is journal/infrastructure
+		// damage; the stream still ends well-formed.
+		doneEv.Error = runErr.Error()
+		s.cfg.Log.Printf("serve: sweep %s: %v", sweepID, runErr)
+	}
+	writeEvent(doneEv)
+}

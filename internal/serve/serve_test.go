@@ -1,0 +1,487 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wlcache/internal/expt"
+	"wlcache/internal/runner"
+)
+
+const committedGolden = "../expt/testdata/golden_results.json"
+
+// newTestServer builds a Server on a temp data dir plus an HTTP
+// front-end and client for it.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, &Client{Base: hs.URL}
+}
+
+// tinySpec is the smallest interesting sweep: three designs, one
+// workload, uninterrupted power. All three cells are feasible.
+func tinySpec() Spec {
+	return Spec{
+		Designs:   []string{"nvsram", "nocache", "wl"},
+		Workloads: []string{"adpcmencode"},
+		Traces:    []string{"none"},
+	}
+}
+
+// A submitted sweep streams an accepted event, one cell event per
+// cell (with results), and a done event whose metrics add up — and the
+// streamed results are bit-identical to the committed golden.
+func TestSubmitStreamsGoldenCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a sweep subset")
+	}
+	_, cl := newTestServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	spec := Spec{Workloads: []string{"adpcmencode"}} // all designs, golden traces
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Accepted.Cells != spec.NumCells() {
+		t.Fatalf("accepted %d cells, want %d", st.Accepted.Cells, spec.NumCells())
+	}
+	cells, done, err := st.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != spec.NumCells() || done == nil {
+		t.Fatalf("streamed %d cells, done=%v; want %d and a done event", len(cells), done, spec.NumCells())
+	}
+	if done.Error != "" {
+		t.Fatalf("done event carries error: %s", done.Error)
+	}
+	m := done.Metrics
+	if m.FromJournal+m.FromShared+m.Computed+m.Failed != m.Cells || m.Skipped != 0 {
+		t.Fatalf("done metrics do not add up: %+v", m)
+	}
+
+	got := make([]expt.GoldenCell, 0, len(cells))
+	for _, ev := range cells {
+		gc := expt.GoldenCell{Kind: ev.Kind, Workload: ev.Workload, Trace: ev.Trace, Err: ev.Error}
+		if ev.Error == "" {
+			if ev.Result == nil {
+				t.Fatalf("cell %s/%s/%s has neither result nor error", ev.Kind, ev.Workload, ev.Trace)
+			}
+			gc.Fields = expt.FlattenResult(*ev.Result)
+		}
+		got = append(got, gc)
+	}
+	committed, err := expt.LoadGoldenFile(committedGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := expt.CompareGoldenCells(got, committed, true); err != nil {
+		t.Fatalf("streamed results diverged from the committed golden: %v", err)
+	}
+}
+
+// A new server on the same data dir serves a completed sweep entirely
+// from its journal: zero recomputation across a restart.
+func TestRestartServesFromJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a sweep subset")
+	}
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	_, cl1 := newTestServer(t, Config{DataDir: dir})
+	st, err := cl1.Submit(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done, err := st.Drain(); err != nil || done == nil || done.Metrics.Computed != 3 {
+		t.Fatalf("first run: done=%+v err=%v, want 3 computed", done, err)
+	}
+	st.Close()
+
+	s2, cl2 := newTestServer(t, Config{DataDir: dir})
+	if got := s2.Metrics().StoreLoaded; got != 3 {
+		t.Fatalf("restarted store loaded %d results, want 3", got)
+	}
+	st2, err := cl2.Submit(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	cells, done, err := st2.Drain()
+	if err != nil || done == nil {
+		t.Fatalf("drain: done=%v err=%v", done, err)
+	}
+	if done.Metrics.Computed != 0 || done.Metrics.FromJournal != 3 {
+		t.Fatalf("restart recomputed: %+v", done.Metrics)
+	}
+	for _, ev := range cells {
+		if ev.Source != string(runner.SourceJournal) {
+			t.Fatalf("cell %s served from %q, want journal", ev.ID, ev.Source)
+		}
+	}
+}
+
+// Two overlapping sweeps submitted concurrently compute every
+// duplicate cell exactly once, with the dedup visible in the metrics.
+func TestConcurrentOverlapComputesOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs sweep subsets")
+	}
+	s, cl := newTestServer(t, Config{MaxConcurrent: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	specA := tinySpec() // nvsram, nocache, wl
+	specB := Spec{      // overlaps on nvsram and wl
+		Designs:   []string{"nvsram", "wl"},
+		Workloads: []string{"adpcmencode"},
+		Traces:    []string{"none"},
+	}
+	type out struct {
+		done *Event
+		err  error
+	}
+	res := make(chan out, 2)
+	for _, spec := range []Spec{specA, specB} {
+		spec := spec
+		go func() {
+			st, err := cl.Submit(ctx, spec)
+			if err != nil {
+				res <- out{err: err}
+				return
+			}
+			defer st.Close()
+			_, done, err := st.Drain()
+			res <- out{done: done, err: err}
+		}()
+	}
+	var computed, shared int
+	for i := 0; i < 2; i++ {
+		o := <-res
+		if o.err != nil || o.done == nil {
+			t.Fatalf("sweep failed: done=%v err=%v", o.done, o.err)
+		}
+		computed += o.done.Metrics.Computed
+		shared += o.done.Metrics.FromShared
+	}
+	// 3 unique cells across both sweeps; the 2 overlapping cells are
+	// each served to exactly one sweep from the shared store.
+	if computed != 3 {
+		t.Fatalf("computed %d cells across overlapping sweeps, want exactly 3", computed)
+	}
+	if shared != 2 {
+		t.Fatalf("shared store served %d cells, want exactly 2", shared)
+	}
+	if got := s.Metrics().CellsFromShared; got != 2 {
+		t.Fatalf("server metrics count %d shared cells, want 2", got)
+	}
+}
+
+// Admission control: with every run slot and queue position taken, a
+// further submission sheds deterministically with 429 + Retry-After.
+func TestOverloadSheds429(t *testing.T) {
+	s, cl := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 1, RetryAfter: 7 * time.Second})
+	entered := make(chan string, 4)
+	gate := make(chan struct{})
+	s.beforeRun = func(id string) {
+		entered <- id
+		<-gate
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	submit := func(spec Spec) {
+		defer wg.Done()
+		st, err := cl.Submit(ctx, spec)
+		if err != nil {
+			t.Errorf("held sweep failed: %v", err)
+			return
+		}
+		st.Drain()
+		st.Close()
+	}
+	// First sweep holds the only run slot (blocked in beforeRun).
+	wg.Add(1)
+	go submit(tinySpec())
+	<-entered
+	// Second sweep occupies the single queue position.
+	wg.Add(1)
+	go submit(Spec{Designs: []string{"nocache"}, Workloads: []string{"adpcmencode"}, Traces: []string{"none"}})
+	waitFor(t, func() bool { return s.Metrics().SweepsQueued == 1 })
+
+	// Third submission must shed, not hang.
+	_, err := cl.Submit(ctx, tinySpec())
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("overloaded submit returned %v, want OverloadedError", err)
+	}
+	if oe.RetryAfter != 7*time.Second {
+		t.Fatalf("Retry-After hint = %v, want 7s", oe.RetryAfter)
+	}
+	if got := s.Metrics().SweepsRejected; got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+
+	close(gate)
+	wg.Wait()
+	if got := s.Metrics().SweepsCompleted; got != 2 {
+		t.Fatalf("completed = %d, want both held sweeps to finish", got)
+	}
+}
+
+// Graceful shutdown drains: running sweeps finish and stream their
+// done event, new submissions get 503, readyz flips to 503, and
+// Shutdown returns nil once drained.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s, cl := newTestServer(t, Config{MaxConcurrent: 1})
+	entered := make(chan string, 1)
+	gate := make(chan struct{})
+	s.beforeRun = func(id string) {
+		entered <- id
+		<-gate
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	type out struct {
+		done *Event
+		err  error
+	}
+	res := make(chan out, 1)
+	go func() {
+		st, err := cl.Submit(ctx, tinySpec())
+		if err != nil {
+			res <- out{err: err}
+			return
+		}
+		defer st.Close()
+		_, done, err := st.Drain()
+		res <- out{done: done, err: err}
+	}()
+	<-entered
+
+	shut := make(chan error, 1)
+	go func() { shut <- s.Shutdown(context.Background()) }()
+	waitFor(t, func() bool { return s.Metrics().Draining })
+
+	if err := cl.Ready(ctx); err == nil {
+		t.Fatal("readyz still 200 while draining")
+	}
+	if _, err := cl.Submit(ctx, tinySpec()); err == nil {
+		t.Fatal("draining server accepted a new sweep")
+	}
+	if got := s.Metrics().SweepsUnavailable; got != 1 {
+		t.Fatalf("unavailable counter = %d, want 1", got)
+	}
+
+	close(gate)
+	o := <-res
+	if o.err != nil || o.done == nil || o.done.Error != "" {
+		t.Fatalf("in-flight sweep did not finish cleanly: done=%+v err=%v", o.done, o.err)
+	}
+	if err := <-shut; err != nil {
+		t.Fatalf("clean drain returned %v, want nil", err)
+	}
+}
+
+// When the drain deadline passes, in-flight sweeps degrade instead of
+// hanging: unstarted cells become deterministic skips and the stream
+// still ends with a well-formed done event.
+func TestShutdownDeadlineDegradesToSkips(t *testing.T) {
+	s, cl := newTestServer(t, Config{MaxConcurrent: 1})
+	// Hold the sweep until the drain deadline forces the hard cancel;
+	// its cells then all start after cancellation and must skip.
+	s.beforeRun = func(string) { <-s.hardCtx.Done() }
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	type out struct {
+		cells []Event
+		done  *Event
+		err   error
+	}
+	res := make(chan out, 1)
+	go func() {
+		st, err := cl.Submit(ctx, tinySpec())
+		if err != nil {
+			res <- out{err: err}
+			return
+		}
+		defer st.Close()
+		cells, done, err := st.Drain()
+		res <- out{cells: cells, done: done, err: err}
+	}()
+	waitFor(t, func() bool { return s.Metrics().SweepsActive == 1 })
+
+	sctx, scancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer scancel()
+	if err := s.Shutdown(sctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced shutdown returned %v, want deadline exceeded", err)
+	}
+
+	o := <-res
+	if o.err != nil || o.done == nil {
+		t.Fatalf("degraded sweep stream broken: done=%v err=%v", o.done, o.err)
+	}
+	if o.done.Metrics.Skipped != 3 || o.done.Metrics.Computed != 0 {
+		t.Fatalf("degraded sweep metrics %+v, want all 3 cells skipped", o.done.Metrics)
+	}
+	for _, ev := range o.cells {
+		if ev.Source != string(runner.SourceSkipped) || ev.Error == "" {
+			t.Fatalf("cell %s: source %q error %q, want a typed skip", ev.ID, ev.Source, ev.Error)
+		}
+	}
+}
+
+// Malformed and oversized specs are rejected with 400 before any
+// simulation or journal I/O; wrong methods with 405.
+func TestSpecRejection(t *testing.T) {
+	s, cl := newTestServer(t, Config{MaxCells: 50})
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(cl.Base+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown design", `{"designs":["warp-drive"]}`},
+		{"unknown workload", `{"workloads":["fortnite"]}`},
+		{"unknown trace", `{"traces":["tr99"]}`},
+		{"unknown field", `{"bogus":1}`},
+		{"not json", `designs=wl`},
+		{"oversized scale", `{"scale":65}`},
+		{"negative budget", `{"cell_budget_ms":-1}`},
+		{"grid out of range", `{"grid":{"maxline":[65]}}`},
+		{"too many cells", `{}`}, // 78 golden cells > MaxCells 50
+	}
+	for _, c := range cases {
+		if resp := post(c.body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(cl.Base + "/v1/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d, want 405", resp.StatusCode)
+	}
+	if got := s.Metrics().SweepsAccepted; got != 0 {
+		t.Fatalf("rejected specs were accepted: %d", got)
+	}
+}
+
+// healthz answers while draining (liveness), readyz does not
+// (readiness), and metricz serves a decodable snapshot.
+func TestProbes(t *testing.T) {
+	s, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	if err := cl.Ready(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Metrics(ctx); err != nil {
+		t.Fatal(err)
+	}
+	go s.Shutdown(context.Background())
+	waitFor(t, func() bool { return s.Metrics().Draining })
+	resp, err := http.Get(cl.Base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200 (liveness is not readiness)", resp.StatusCode)
+	}
+	if err := cl.Ready(ctx); err == nil {
+		t.Fatal("readyz 200 while draining")
+	}
+}
+
+// The spec's content hash is stable across equivalent spellings (empty
+// vs explicit defaults) and distinct across different sweeps — it keys
+// the journal files, so a collision would cross-wire resumes.
+func TestSpecIDStability(t *testing.T) {
+	var defaults Spec
+	explicit := Spec{
+		Workloads: expt.GoldenWorkloads(),
+		Scale:     1,
+	}
+	if defaults.ID("e1") != explicit.ID("e1") {
+		t.Fatal("equivalent specs hash differently")
+	}
+	if defaults.ID("e1") == defaults.ID("e2") {
+		t.Fatal("engine version not mixed into the sweep id")
+	}
+	other := Spec{Workloads: []string{"sha"}}
+	if defaults.ID("e1") == other.ID("e1") {
+		t.Fatal("different specs collide")
+	}
+}
+
+// A corrupt journal on disk is quarantined at startup — renamed aside,
+// counted, and the server still comes up serving everything else.
+func TestCorruptJournalQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, strings.Repeat("ab", 32)+".jsonl")
+	// Interior corruption: garbage between two valid-shaped lines is
+	// not crash damage an append-only writer can produce.
+	content := fmt.Sprintf("{\"schema\":%q,\"engine\":%q}\nnot json at all\n{\"addr\":\"x\",\"id\":\"y\",\"fp\":\"z\",\"result\":{}}\n",
+		runner.Schema, "e1")
+	if err := os.WriteFile(bad, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{DataDir: dir, Engine: "e1"})
+	if err != nil {
+		t.Fatalf("corrupt journal killed startup: %v", err)
+	}
+	if got := s.Metrics().JournalsQuarantined; got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+	if _, err := os.Stat(bad + ".corrupt"); err != nil {
+		t.Fatalf("corrupt journal not renamed aside: %v", err)
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatalf("corrupt journal still in place: %v", err)
+	}
+}
+
+// waitFor polls a condition with a deadline; serve tests use it to
+// sequence admission states without sleeping blind.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
