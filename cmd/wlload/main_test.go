@@ -1,0 +1,80 @@
+package main
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"wlcache/internal/expt"
+)
+
+func figNames() []string {
+	var out []string
+	for _, k := range expt.FigureKinds() {
+		out = append(out, string(k))
+	}
+	return out
+}
+
+func TestOverlapKinds(t *testing.T) {
+	figs := figNames()
+	if len(figs) < 2 {
+		t.Fatal("figure kinds too small for the test")
+	}
+
+	// No explicit designs: the subset is the full figure-kind set.
+	if got := overlapKinds(nil); !reflect.DeepEqual(got, figs) {
+		t.Fatalf("overlapKinds(nil) = %v, want %v", got, figs)
+	}
+
+	// Explicit designs intersecting the figure kinds: keep the overlap.
+	primary := []string{figs[0], "nvsram", figs[1]}
+	if got := overlapKinds(primary); !reflect.DeepEqual(got, []string{figs[0], figs[1]}) {
+		t.Fatalf("overlapKinds(%v) = %v", primary, got)
+	}
+
+	// Disjoint designs: fall back to the primary's first design so the
+	// two specs still share cells.
+	if got := overlapKinds([]string{"nvsram", "nocache"}); !reflect.DeepEqual(got, []string{"nvsram"}) {
+		t.Fatalf("overlapKinds(disjoint) = %v, want [nvsram]", got)
+	}
+}
+
+func TestSplitCSV(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a,b", []string{"a", "b"}},
+		{" a , b ,, c ", []string{"a", "b", "c"}},
+	}
+	for _, c := range cases {
+		if got := splitCSV(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitCSV(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBuildSpecsOverlap(t *testing.T) {
+	specs := buildSpecs("", "adpcmencode", "none")
+	if len(specs) != 2 {
+		t.Fatalf("%d specs, want 2", len(specs))
+	}
+	if specs[0].NumCells() <= specs[1].NumCells() {
+		t.Fatalf("subset (%d cells) not smaller than primary (%d)",
+			specs[1].NumCells(), specs[0].NumCells())
+	}
+}
+
+func TestRunRejectsBadTargetFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-addr", "http://x", "-serve-bin", "./wlserve"},
+	} {
+		if code, err := run(args, io.Discard); err == nil || code != 1 {
+			t.Errorf("run(%v) = %d, %v; want usage error", args, code, err)
+		}
+	}
+}

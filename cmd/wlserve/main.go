@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -64,12 +65,19 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		cellBudget = fs.Duration("cell-budget", 0, "per-cell deadline budget (0 = none)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
 		killAfter  = fs.Int("kill-after", 0, "SIGKILL this process after N durable journal appends (chaos harness internal)")
+		pprof      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in)")
+		logLevel   = fs.String("log-level", "info", "structured log level: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *data == "" {
 		return fmt.Errorf("-data is required")
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %v", *logLevel, err)
 	}
 
 	cfg := serve.Config{
@@ -81,7 +89,9 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		RetryAfter:    *retryAfter,
 		RequestBudget: *reqBudget,
 		CellBudget:    *cellBudget,
+		EnablePprof:   *pprof,
 		Log:           log.New(os.Stderr, "wlserve: ", log.LstdFlags),
+		Logger:        slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
 	}
 	if *killAfter > 0 {
 		n := *killAfter

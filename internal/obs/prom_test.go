@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// find returns the parsed samples matching a base name.
+func find(samples []PromSample, name string) []PromSample {
+	var out []PromSample
+	for _, s := range samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// The registry's Prometheus rendering round-trips through the
+// validating parser: counters, gauges and histograms with embedded
+// label blocks all come back with the values that went in.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`requests_total{route="/v1/sweeps",code="200"}`, DirNone).Add(7)
+	r.Counter(`requests_total{route="/metricz",code="200"}`, DirNone).Add(3)
+	r.Gauge("queue_depth", DirLower).Set(4)
+	h := r.Histogram(`cell_us{outcome="computed"}`, DirLower)
+	for _, v := range []float64{1, 10, 100, 1000} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("own output does not parse: %v\n%s", err, buf.String())
+	}
+
+	reqs := find(samples, "requests_total")
+	if len(reqs) != 2 {
+		t.Fatalf("requests_total: %d series, want 2", len(reqs))
+	}
+	var total float64
+	for _, s := range reqs {
+		if s.Labels["code"] != "200" {
+			t.Fatalf("requests_total labels: %v", s.Labels)
+		}
+		total += s.Value
+	}
+	if total != 10 {
+		t.Fatalf("requests_total sum = %v, want 10", total)
+	}
+
+	if g := find(samples, "queue_depth"); len(g) != 1 || g[0].Value != 4 {
+		t.Fatalf("queue_depth = %+v, want one sample of 4", g)
+	}
+
+	if c := find(samples, "cell_us_count"); len(c) != 1 || c[0].Value != 4 {
+		t.Fatalf("cell_us_count = %+v, want 4", c)
+	}
+	if s := find(samples, "cell_us_sum"); len(s) != 1 || s[0].Value != 1111 {
+		t.Fatalf("cell_us_sum = %+v, want 1111", s)
+	}
+	buckets := find(samples, "cell_us_bucket")
+	if len(buckets) == 0 {
+		t.Fatal("no cell_us_bucket series")
+	}
+	prev := -1.0
+	sawInf := false
+	for _, b := range buckets {
+		if b.Labels["outcome"] != "computed" {
+			t.Fatalf("bucket lost embedded label: %v", b.Labels)
+		}
+		if b.Value < prev {
+			t.Fatalf("bucket counts not cumulative: %v after %v", b.Value, prev)
+		}
+		prev = b.Value
+		if b.Labels["le"] == "+Inf" {
+			sawInf = true
+			if b.Value != 4 {
+				t.Fatalf("+Inf bucket = %v, want total count 4", b.Value)
+			}
+		}
+	}
+	if !sawInf {
+		t.Fatal("no +Inf bucket emitted")
+	}
+
+	// # TYPE groups must be contiguous: each base name announced once.
+	seen := map[string]int{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			seen[strings.Fields(rest)[0]]++
+		}
+	}
+	for base, n := range seen {
+		if n != 1 {
+			t.Fatalf("# TYPE %s announced %d times", base, n)
+		}
+	}
+}
+
+// Metric names with characters outside the Prometheus charset are
+// sanitized rather than emitted invalid.
+func TestWritePrometheusSanitizesNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird name/with-dashes", DirNone).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("sanitized output does not parse: %v\n%s", err, buf.String())
+	}
+	if len(samples) != 1 || strings.ContainsAny(samples[0].Name, " /-") {
+		t.Fatalf("samples = %+v, want one sanitized name", samples)
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		`name{unterminated="v value`,
+		`name not-a-number`,
+		`{nobase="v"} 1`,
+		`na me 1`,
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParsePrometheus(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// SyncRegistry is safe under concurrent writers and scrapers; the
+// final render accounts for every operation.
+func TestSyncRegistryConcurrent(t *testing.T) {
+	sr := NewSyncRegistry()
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				sr.Inc(`ops_total{kind="inc"}`, DirNone)
+				sr.Observe("lat_us", DirLower, float64(i+1))
+				sr.Set("depth", DirLower, float64(w))
+				if i%50 == 0 {
+					var buf bytes.Buffer
+					if err := sr.WritePrometheus(&buf); err != nil {
+						t.Errorf("scrape: %v", err)
+						return
+					}
+					if _, err := ParsePrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+						t.Errorf("mid-run scrape does not parse: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := sr.CounterValue(`ops_total{kind="inc"}`); got != workers*each {
+		t.Fatalf("ops_total = %d, want %d", got, workers*each)
+	}
+	if got := sr.HistCount("lat_us"); got != workers*each {
+		t.Fatalf("lat_us count = %d, want %d", got, workers*each)
+	}
+	if q := sr.HistQuantile("lat_us", 0.5); q <= 0 {
+		t.Fatalf("lat_us p50 = %v, want > 0", q)
+	}
+}
+
+// A nil SyncRegistry is a no-op for every method — callers never need
+// to guard.
+func TestSyncRegistryNil(t *testing.T) {
+	var sr *SyncRegistry
+	sr.Inc("x", DirNone)
+	sr.Add("x", DirNone, 2)
+	sr.Set("x", DirNone, 1)
+	sr.Observe("x", DirNone, 1)
+	if v := sr.CounterValue("x"); v != 0 {
+		t.Fatalf("nil CounterValue = %d", v)
+	}
+	if c := sr.HistCount("x"); c != 0 {
+		t.Fatalf("nil HistCount = %d", c)
+	}
+	var buf bytes.Buffer
+	if err := sr.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WritePrometheus wrote %q, err %v", buf.String(), err)
+	}
+}
+
+// WriteTraceEvents emits loadable trace_event JSON with the process
+// and thread metadata first.
+func TestWriteTraceEvents(t *testing.T) {
+	events := []TraceEvent{
+		{Name: "cell-0", Cat: "sweep", Ph: "X", PID: 1, TID: 2, TS: 0, Dur: 50},
+		{Name: "cell-1", Cat: "sweep", Ph: "i", PID: 1, TID: 1, TS: 60},
+	}
+	var buf bytes.Buffer
+	err := WriteTraceEvents(&buf, "proc", map[int]string{1: "served", 2: "lane-0"}, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"process_name"`, `"thread_name"`, `"served"`, `"lane-0"`, `"cell-0"`, `"ph":"X"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %s:\n%s", want, out)
+		}
+	}
+	if !strings.HasPrefix(strings.TrimSpace(out), "{") {
+		t.Fatalf("not a JSON object: %s", out)
+	}
+}
+
+func TestHistQuantileMonotonic(t *testing.T) {
+	sr := NewSyncRegistry()
+	for i := 1; i <= 1000; i++ {
+		sr.Observe("v", DirLower, float64(i))
+	}
+	last := 0.0
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		v := sr.HistQuantile("v", q)
+		if v < last {
+			t.Fatalf("quantile %v = %v < previous %v", q, v, last)
+		}
+		last = v
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// SyncRegistry is a mutex-guarded Registry for concurrent writers —
+// the sweep service's HTTP handlers and runner workers, as opposed to
+// the single-goroutine simulator a bare Registry serves. Operations go
+// through value-passing methods instead of returned metric pointers so
+// every touch happens under the lock; reads snapshot or render under
+// the same lock. All methods are nil-safe, mirroring the rest of the
+// package.
+type SyncRegistry struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+// NewSyncRegistry returns an empty concurrent registry.
+func NewSyncRegistry() *SyncRegistry {
+	return &SyncRegistry{reg: NewRegistry()}
+}
+
+// Add increments the named counter by delta, creating it with
+// direction d on first use.
+func (s *SyncRegistry) Add(name string, d Dir, delta uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.reg.Counter(name, d).Add(delta)
+	s.mu.Unlock()
+}
+
+// Inc increments the named counter by one.
+func (s *SyncRegistry) Inc(name string, d Dir) { s.Add(name, d, 1) }
+
+// Set records one sample on the named gauge.
+func (s *SyncRegistry) Set(name string, d Dir, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.reg.Gauge(name, d).Set(v)
+	s.mu.Unlock()
+}
+
+// Observe records one value on the named histogram.
+func (s *SyncRegistry) Observe(name string, d Dir, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.reg.Histogram(name, d).Observe(v)
+	s.mu.Unlock()
+}
+
+// CounterValue reads the named counter (0 when absent).
+func (s *SyncRegistry) CounterValue(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.reg.counters[name]
+	if !ok {
+		return 0
+	}
+	return c.Value()
+}
+
+// HistCount reads the named histogram's observation count (0 when
+// absent).
+func (s *SyncRegistry) HistCount(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.reg.hists[name]
+	if !ok {
+		return 0
+	}
+	return h.Count()
+}
+
+// HistQuantile estimates the q-quantile of the named histogram (NaN
+// when absent or empty).
+func (s *SyncRegistry) HistQuantile(name string, q float64) float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg.hists[name].Quantile(q)
+}
+
+// WritePrometheus renders the registry in the Prometheus text format
+// under the lock, so a scrape racing writers sees a consistent
+// snapshot of each metric.
+func (s *SyncRegistry) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg.WritePrometheus(w)
+}

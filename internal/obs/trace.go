@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Kind identifies one typed trace event. Events carry only numeric
@@ -185,9 +186,11 @@ func (t *Trace) Events() []Event {
 	return out
 }
 
-// chromeEvent is one trace_event record in Chrome's JSON array format
-// (chrome://tracing, Perfetto). Timestamps are microseconds.
-type chromeEvent struct {
+// TraceEvent is one trace_event record in Chrome's JSON array format
+// (chrome://tracing, Perfetto). Timestamps and durations are
+// microseconds. Phase is "X" (complete), "i" (instant), "C" (counter)
+// or "M" (metadata).
+type TraceEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
@@ -200,28 +203,48 @@ type chromeEvent struct {
 
 const psPerUS = 1e6
 
+// WriteTraceEvents writes a Chrome trace_event JSON document:
+// process/thread metadata built from processName and threadNames,
+// followed by the given events. The sweep service reuses this for its
+// request-level cell spans, so service traces and simulator traces
+// load into the same tooling.
+func WriteTraceEvents(w io.Writer, processName string, threadNames map[int]string, events []TraceEvent) error {
+	out := make([]TraceEvent, 0, len(events)+1+len(threadNames))
+	out = append(out, TraceEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": processName},
+	})
+	tids := make([]int, 0, len(threadNames))
+	for tid := range threadNames {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		out = append(out, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": threadNames[tid]},
+		})
+	}
+	out = append(out, events...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ms",
+		"traceEvents":     out,
+	})
+}
+
 // WriteChrome exports the retained events as a Chrome trace_event
 // JSON object. meta labels the process so multiple runs can be merged
 // into one timeline.
 func (t *Trace) WriteChrome(w io.Writer, meta RunMeta) error {
 	evs := t.Events()
-	out := make([]chromeEvent, 0, len(evs)+1+len(tidNames))
-	out = append(out, chromeEvent{
-		Name: "process_name", Ph: "M", PID: 1,
-		Args: map[string]any{"name": fmt.Sprintf("%s / %s / %s", meta.Design, meta.Workload, meta.Trace)},
-	})
-	for tid, name := range tidNames {
-		out = append(out, chromeEvent{
-			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
-			Args: map[string]any{"name": name},
-		})
-	}
+	out := make([]TraceEvent, 0, len(evs))
 	for _, e := range evs {
 		if int(e.Kind) >= len(kindMeta) || kindMeta[e.Kind].name == "" {
 			continue
 		}
 		km := kindMeta[e.Kind]
-		ce := chromeEvent{
+		ce := TraceEvent{
 			Name: km.name, Cat: "wlcache", Ph: km.ph, PID: 1, TID: km.tid,
 			TS: float64(e.TS) / psPerUS,
 		}
@@ -231,11 +254,8 @@ func (t *Trace) WriteChrome(w io.Writer, meta RunMeta) error {
 		ce.Args = chromeArgs(e)
 		out = append(out, ce)
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{
-		"displayTimeUnit": "ms",
-		"traceEvents":     out,
-	})
+	name := fmt.Sprintf("%s / %s / %s", meta.Design, meta.Workload, meta.Trace)
+	return WriteTraceEvents(w, name, tidNames, out)
 }
 
 // chromeArgs renders the per-kind payload fields.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"wlcache/internal/sim"
 )
@@ -93,6 +94,9 @@ type Journal struct {
 	// kill the process at a point where the journal state is exactly
 	// known.
 	afterAppend func(n int)
+	// observeFsync, when set, receives the wall time of each record's
+	// fsync, still holding the append lock.
+	observeFsync func(d time.Duration)
 }
 
 // OpenJournal opens (creating if needed) the journal at path for the
@@ -280,7 +284,12 @@ func (j *Journal) writeLine(line []byte) error {
 	if _, err := j.f.Write(append(line, '\n')); err != nil {
 		return err
 	}
-	return j.f.Sync()
+	start := time.Now()
+	err := j.f.Sync()
+	if err == nil && j.observeFsync != nil {
+		j.observeFsync(time.Since(start))
+	}
+	return err
 }
 
 // Appended returns how many records this process has durably appended.

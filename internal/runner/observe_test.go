@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wlcache/internal/sim"
+)
+
+// Every computed cell's CellDone carries its timing — one attempt, a
+// duration covering the cell's work, a non-negative queue wait — and
+// each journal append's fsync is reported to the ObserveFsync hook.
+func TestCellDoneTimingAndFsyncHook(t *testing.T) {
+	const n = 6
+	cells := make([]Cell, n)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{
+			ID:          fmt.Sprintf("cell-%d", i),
+			Fingerprint: fmt.Sprintf("fp-%d", i),
+			Run: func(context.Context) (sim.Result, error) {
+				time.Sleep(2 * time.Millisecond)
+				return fakeResult(i), nil
+			},
+		}
+	}
+
+	var mu sync.Mutex
+	var dones []CellDone
+	var fsyncs atomic.Int64
+	cfg := Config{
+		Workers:     2,
+		Engine:      "test",
+		JournalPath: filepath.Join(t.TempDir(), "sweep.wlj"),
+		OnCell: func(d CellDone) {
+			mu.Lock()
+			dones = append(dones, d)
+			mu.Unlock()
+		},
+		ObserveFsync: func(d time.Duration) {
+			if d < 0 {
+				t.Errorf("negative fsync duration %v", d)
+			}
+			fsyncs.Add(1)
+		},
+	}
+	if _, err := RunCells(context.Background(), cfg, cells); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(dones) != n {
+		t.Fatalf("OnCell fired %d times, want %d", len(dones), n)
+	}
+	for _, d := range dones {
+		if d.Source != SourceComputed {
+			t.Fatalf("cell %s source %q, want computed", d.ID, d.Source)
+		}
+		if d.Attempts != 1 {
+			t.Fatalf("cell %s attempts %d, want 1", d.ID, d.Attempts)
+		}
+		if d.Dur < 2*time.Millisecond {
+			t.Fatalf("cell %s dur %v, want >= the cell's 2ms of work", d.ID, d.Dur)
+		}
+		if d.Wait < 0 {
+			t.Fatalf("cell %s negative wait %v", d.ID, d.Wait)
+		}
+	}
+	// One durable append (and one fsync) per computed cell.
+	if got := fsyncs.Load(); got != n {
+		t.Fatalf("ObserveFsync fired %d times, want %d", got, n)
+	}
+}
+
+// Transient retries are visible in CellDone.Attempts, and cells served
+// from the journal on a re-run report zero attempts and the journal
+// source.
+func TestCellDoneAttemptsAndJournalReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.wlj")
+	var tries atomic.Int64
+	flaky := Cell{
+		ID:          "flaky",
+		Fingerprint: "fp-flaky",
+		Run: func(context.Context) (sim.Result, error) {
+			if tries.Add(1) < 3 {
+				return sim.Result{}, fmt.Errorf("hiccup: %w", ErrTransient)
+			}
+			return fakeResult(0), nil
+		},
+	}
+
+	collect := func() (func(CellDone), *[]CellDone) {
+		var mu sync.Mutex
+		out := &[]CellDone{}
+		return func(d CellDone) {
+			mu.Lock()
+			*out = append(*out, d)
+			mu.Unlock()
+		}, out
+	}
+
+	onCell, dones := collect()
+	cfg := Config{
+		Workers: 1, Engine: "test", JournalPath: path,
+		MaxAttempts: 3, BackoffBase: time.Millisecond, BackoffMax: time.Millisecond,
+		OnCell: onCell,
+	}
+	if _, err := RunCells(context.Background(), cfg, []Cell{flaky}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*dones) != 1 || (*dones)[0].Attempts != 3 || (*dones)[0].Source != SourceComputed {
+		t.Fatalf("first run CellDone = %+v, want 3 attempts, computed", *dones)
+	}
+
+	onCell2, dones2 := collect()
+	cfg.OnCell = onCell2
+	if _, err := RunCells(context.Background(), cfg, []Cell{flaky}); err != nil {
+		t.Fatal(err)
+	}
+	d := (*dones2)[0]
+	if d.Source != SourceJournal || d.Attempts != 0 {
+		t.Fatalf("replay CellDone = %+v, want journal source with 0 attempts", d)
+	}
+	if tries.Load() != 3 {
+		t.Fatalf("cell ran %d times total, want 3 (replay must not recompute)", tries.Load())
+	}
+}

@@ -105,6 +105,10 @@ type Config struct {
 	// It is written once, before any workers start, on the calling
 	// goroutine.
 	Obs *obs.Registry
+	// ObserveFsync, when set, receives the duration of each journal
+	// append's fsync — the durability tax every computed cell pays. It
+	// runs under the journal's append lock; keep it cheap.
+	ObserveFsync func(d time.Duration)
 }
 
 // CellSource says where a cell's outcome came from.
@@ -127,6 +131,19 @@ type CellDone struct {
 	Result sim.Result
 	Err    error
 	Source CellSource
+
+	// Wait is how long the cell sat in the worker queue before a
+	// worker picked it up (zero for journal-served cells, which never
+	// reach the pool).
+	Wait time.Duration
+	// Dur is the wall time from worker pickup to outcome: compute time
+	// for computed cells, the wait on another sweep's in-flight compute
+	// for shared serves, ~zero for in-run dedup hits.
+	Dur time.Duration
+	// Attempts counts Run invocations, including transient retries
+	// (zero when the cell never ran: journal/shared/dedup serves and
+	// skips).
+	Attempts int
 }
 
 func (c Config) normalize() Config {
@@ -219,6 +236,7 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 		}
 		defer journal.Close()
 		journal.afterAppend = cfg.AfterJournal
+		journal.observeFsync = cfg.ObserveFsync
 		rep.Metrics.Journal = stats
 		if cfg.Obs != nil {
 			cfg.Obs.Counter("runner.journal.records", obs.DirNone).Add(uint64(stats.Records))
@@ -227,9 +245,10 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 		}
 	}
 
-	emit := func(i int, res sim.Result, err error, src CellSource) {
+	emit := func(i int, res sim.Result, err error, src CellSource, wait, dur time.Duration, attempts int) {
 		if cfg.OnCell != nil {
-			cfg.OnCell(CellDone{Index: i, ID: cells[i].ID, Result: res, Err: err, Source: src})
+			cfg.OnCell(CellDone{Index: i, ID: cells[i].ID, Result: res, Err: err, Source: src,
+				Wait: wait, Dur: dur, Attempts: attempts})
 		}
 	}
 
@@ -243,7 +262,7 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 			if res, ok := cache[addrs[i]]; ok {
 				rep.Results[i] = res
 				rep.Metrics.FromJournal++
-				emit(i, res, nil, SourceJournal)
+				emit(i, res, nil, SourceJournal, 0, 0, 0)
 				continue
 			}
 		}
@@ -262,6 +281,7 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 		workers = len(pending)
 	}
 	idx := make(chan int)
+	poolStart := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -273,6 +293,10 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 				}
 				attempted[i].Store(true)
 				c := cells[i]
+				// Every pending cell was runnable the moment the pool
+				// started; pickup minus pool start is its queue wait.
+				pick := time.Now()
+				wait := pick.Sub(poolStart)
 
 				// A cell identical to one computed earlier in this
 				// run is served from the in-run cache.
@@ -283,25 +307,29 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 					if ok {
 						rep.Results[i] = res
 						counters.deduped.Add(1)
-						emit(i, res, nil, SourceDedup)
+						emit(i, res, nil, SourceDedup, wait, time.Since(pick), 0)
 						continue
 					}
 				}
 
 				var res sim.Result
 				var err error
+				attempts := 0
 				src := SourceComputed
 				if cfg.Shared != nil && addrs[i] != "" {
 					var computed bool
 					res, computed, err = cfg.Shared.Do(ctx, addrs[i], func() (sim.Result, error) {
-						return runCell(ctx, cfg, c, &counters.retries, &counters.panics)
+						r, n, e := runCell(ctx, cfg, c, &counters.retries, &counters.panics)
+						attempts += n
+						return r, e
 					})
 					if err == nil && !computed {
 						src = SourceShared
 					}
 				} else {
-					res, err = runCell(ctx, cfg, c, &counters.retries, &counters.panics)
+					res, attempts, err = runCell(ctx, cfg, c, &counters.retries, &counters.panics)
 				}
+				dur := time.Since(pick)
 				if err != nil {
 					rep.Errs[i] = &CellError{Index: i, ID: c.ID, Err: err}
 					if c.Optional {
@@ -309,7 +337,7 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 					} else {
 						counters.failed.Add(1)
 					}
-					emit(i, sim.Result{}, rep.Errs[i], SourceFailed)
+					emit(i, sim.Result{}, rep.Errs[i], SourceFailed, wait, dur, attempts)
 					continue
 				}
 				rep.Results[i] = res
@@ -334,7 +362,7 @@ func RunCells(ctx context.Context, cfg Config, cells []Cell) (Report, error) {
 					cache[addrs[i]] = res
 					mu.Unlock()
 				}
-				emit(i, res, nil, src)
+				emit(i, res, nil, src, wait, time.Since(pick), attempts)
 			}
 		}()
 	}
@@ -359,7 +387,7 @@ feed:
 			}
 			rep.Errs[i] = &CellError{Index: i, ID: cells[i].ID, Err: errorsJoin(ErrSkipped, cause)}
 			counters.skipped.Add(1)
-			emit(i, sim.Result{}, rep.Errs[i], SourceSkipped)
+			emit(i, sim.Result{}, rep.Errs[i], SourceSkipped, 0, 0, 0)
 		}
 	}
 
@@ -383,7 +411,8 @@ feed:
 
 // runCell executes one cell with panic isolation, the per-cell
 // deadline budget, and capped exponential backoff on transient errors.
-func runCell(ctx context.Context, cfg Config, c Cell, retries, panics *atomic.Int64) (sim.Result, error) {
+// attempts reports how many times the cell's Run actually executed.
+func runCell(ctx context.Context, cfg Config, c Cell, retries, panics *atomic.Int64) (_ sim.Result, attempts int, _ error) {
 	cctx := ctx
 	if cfg.CellBudget > 0 {
 		var cancel context.CancelFunc
@@ -398,9 +427,10 @@ func runCell(ctx context.Context, cfg Config, c Cell, retries, panics *atomic.In
 			}
 			break
 		}
+		attempts++
 		res, err := safeRun(cctx, c, panics)
 		if err == nil {
-			return res, nil
+			return res, attempts, nil
 		}
 		last = err
 		if !cfg.Retryable(err) {
@@ -413,7 +443,7 @@ func runCell(ctx context.Context, cfg Config, c Cell, retries, panics *atomic.In
 			}
 		}
 	}
-	return sim.Result{}, last
+	return sim.Result{}, attempts, last
 }
 
 // backoffFor returns the pause before the retry that follows the given

@@ -27,7 +27,11 @@ const (
 type Event struct {
 	Type  string `json:"type"`
 	Sweep string `json:"sweep,omitempty"`
-	Cells int    `json:"cells,omitempty"`
+	// Request is the request ID of the submission that produced this
+	// stream (an inbound X-Request-Id, or server-assigned), so events
+	// correlate with the server's logs and the sweep's trace export.
+	Request string `json:"request,omitempty"`
+	Cells   int    `json:"cells,omitempty"`
 
 	Index    int         `json:"index,omitempty"`
 	ID       string      `json:"id,omitempty"`
@@ -103,9 +107,27 @@ func (e *OverloadedError) Error() string {
 	return fmt.Sprintf("server overloaded, retry after %s: %s", e.RetryAfter, e.Body)
 }
 
+// StatusError is any other non-200 submission response, with the
+// status code preserved — the load harness keys its 5xx gate on it.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("submit: %d %s: %s", e.Code, http.StatusText(e.Code), e.Body)
+}
+
 // Submit POSTs a sweep spec and returns the live event stream, having
 // already consumed the accepted event (available as Stream.Accepted).
 func (c *Client) Submit(ctx context.Context, spec Spec) (*Stream, error) {
+	return c.SubmitRequest(ctx, spec, "")
+}
+
+// SubmitRequest is Submit with a caller-chosen request ID sent as
+// X-Request-Id; the server echoes it on the response header and every
+// stream event ("" lets the server assign one).
+func (c *Client) SubmitRequest(ctx context.Context, spec Spec, requestID string) (*Stream, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
@@ -115,6 +137,9 @@ func (c *Client) Submit(ctx context.Context, spec Spec) (*Stream, error) {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if requestID != "" {
+		req.Header.Set("X-Request-Id", requestID)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, err
@@ -126,7 +151,7 @@ func (c *Client) Submit(ctx context.Context, spec Spec) (*Stream, error) {
 			secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 			return nil, &OverloadedError{RetryAfter: time.Duration(secs) * time.Second, Body: string(bytes.TrimSpace(msg))}
 		}
-		return nil, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(msg))}
 	}
 	st := &Stream{resp: resp, dec: json.NewDecoder(bufio.NewReader(resp.Body))}
 	ev, err := st.Next()
@@ -217,6 +242,24 @@ func (c *Client) WaitReady(ctx context.Context) error {
 		case <-time.After(50 * time.Millisecond):
 		}
 	}
+}
+
+// Progress fetches GET /v1/sweeps/{id}.
+func (c *Client) Progress(ctx context.Context, sweepID string) (ProgressSnapshot, error) {
+	var snap ProgressSnapshot
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/sweeps/"+sweepID, nil)
+	if err != nil {
+		return snap, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("progress: %s", resp.Status)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
 }
 
 // Metrics fetches /metricz.

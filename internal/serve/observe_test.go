@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wlcache/internal/obs"
+)
+
+// syncBuf is a goroutine-safe log sink for the structured logger.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// rawSubmit POSTs a sweep spec with an explicit X-Request-Id header
+// and returns the raw response, so tests can inspect headers the
+// Client abstracts away.
+func rawSubmit(t *testing.T, base string, spec Spec, rid string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/sweeps", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if rid != "" {
+		req.Header.Set("X-Request-Id", rid)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// An inbound X-Request-Id is echoed on the response header, carried on
+// every NDJSON event of the stream, recorded in the structured logs,
+// and attached to the sweep's progress record.
+func TestRequestIDEndToEnd(t *testing.T) {
+	const rid = "e2e-req.42:a"
+	logs := &syncBuf{}
+	cfg := Config{Logger: slog.New(slog.NewTextHandler(logs, &slog.HandlerOptions{Level: slog.LevelDebug}))}
+	_, cl := newTestServer(t, cfg)
+
+	resp := rawSubmit(t, cl.Base, tinySpec(), rid)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != rid {
+		t.Fatalf("response X-Request-Id = %q, want %q", got, rid)
+	}
+
+	var sweep string
+	dec := json.NewDecoder(bufio.NewReader(resp.Body))
+	events := 0
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		events++
+		if ev.Request != rid {
+			t.Fatalf("%s event carries request %q, want %q", ev.Type, ev.Request, rid)
+		}
+		if ev.Type == EventAccepted {
+			sweep = ev.Sweep
+		}
+	}
+	if events < 5 { // accepted + 3 cells + done
+		t.Fatalf("streamed %d events, want >= 5", events)
+	}
+
+	snap, err := cl.Progress(context.Background(), sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Request != rid {
+		t.Fatalf("progress request = %q, want %q", snap.Request, rid)
+	}
+
+	out := logs.String()
+	for _, want := range []string{"sweep accepted", "sweep done", "cell done", "http request"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("logs lack %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "request="+rid) {
+		t.Fatalf("logs never mention request=%s:\n%s", rid, out)
+	}
+}
+
+// A malformed inbound X-Request-Id is replaced with a fresh
+// server-assigned one instead of being echoed verbatim.
+func TestRequestIDInvalidReplaced(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	resp := rawSubmit(t, cl.Base, tinySpec(), "bad id\twith junk!")
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	got := resp.Header.Get("X-Request-Id")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(got) {
+		t.Fatalf("assigned request ID %q, want 16 hex chars", got)
+	}
+}
+
+// promScrape fetches /metrics and validates it as Prometheus text.
+func promScrape(t *testing.T, base string) []obs.PromSample {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	samples, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics is not valid Prometheus text: %v", err)
+	}
+	return samples
+}
+
+// sampleValue sums the samples matching a base name and label subset.
+func sampleValue(samples []obs.PromSample, name string, labels map[string]string) (float64, bool) {
+	var sum float64
+	found := false
+next:
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				continue next
+			}
+		}
+		sum += s.Value
+		found = true
+	}
+	return sum, found
+}
+
+// After a sweep, /metrics renders the service counters and latency
+// histograms as well-formed Prometheus text, consistent with the
+// /metricz JSON snapshot the chaos gate reads.
+func TestMetricsPrometheusScrape(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done, err := st.Drain(); err != nil || done == nil {
+		t.Fatalf("drain: done=%v err=%v", done, err)
+	}
+	st.Close()
+
+	samples := promScrape(t, cl.Base)
+	jsonSnap, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checks := []struct {
+		name   string
+		labels map[string]string
+		want   float64
+	}{
+		{"wlserve_sweeps_total", map[string]string{"state": "accepted"}, float64(jsonSnap.SweepsAccepted)},
+		{"wlserve_sweeps_total", map[string]string{"state": "completed"}, float64(jsonSnap.SweepsCompleted)},
+		{"wlserve_cells_total", map[string]string{"outcome": "computed"}, float64(jsonSnap.CellsComputed)},
+		{"wlserve_journal_appends_total", nil, float64(jsonSnap.JournalAppends)},
+	}
+	for _, c := range checks {
+		got, ok := sampleValue(samples, c.name, c.labels)
+		if !ok || got != c.want {
+			t.Errorf("%s%v = %v (found=%v), want %v to match /metricz", c.name, c.labels, got, ok, c.want)
+		}
+	}
+	if v, ok := sampleValue(samples, "wlserve_cell_us_count", map[string]string{"outcome": "computed"}); !ok || v < 3 {
+		t.Errorf("wlserve_cell_us_count{outcome=computed} = %v (found=%v), want >= 3", v, ok)
+	}
+	if _, ok := sampleValue(samples, "wlserve_http_requests_total", map[string]string{"route": "/v1/sweeps"}); !ok {
+		t.Error("no wlserve_http_requests_total series for /v1/sweeps")
+	}
+	if v, ok := sampleValue(samples, "wlserve_journal_fsync_us_count", nil); !ok || v < 3 {
+		t.Errorf("wlserve_journal_fsync_us_count = %v (found=%v), want >= 3 (one fsync per computed cell)", v, ok)
+	}
+}
+
+// Concurrent /metricz (JSON) and /metrics (Prometheus) scrapes while
+// sweeps are actively running stay well-formed and race-clean.
+func TestConcurrentScrapesDuringSweeps(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	sweeps := make(chan error, 1)
+	go func() {
+		// Three back-to-back submissions: the first computes, the rest
+		// hit the journal/dedup paths — all of them write metrics and
+		// progress records while the scrapers below read.
+		for i := 0; i < 3; i++ {
+			st, err := cl.Submit(ctx, tinySpec())
+			if err != nil {
+				sweeps <- fmt.Errorf("submit %d: %w", i, err)
+				return
+			}
+			_, done, err := st.Drain()
+			st.Close()
+			if err != nil || done == nil {
+				sweeps <- fmt.Errorf("sweep %d: done=%v err=%v", i, done, err)
+				return
+			}
+		}
+		sweeps <- nil
+	}()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if _, err := cl.Metrics(ctx); err != nil {
+					errc <- fmt.Errorf("metricz: %w", err)
+					return
+				}
+				resp, err := http.Get(cl.Base + "/metrics")
+				if err != nil {
+					errc <- err
+					return
+				}
+				_, perr := obs.ParsePrometheus(resp.Body)
+				resp.Body.Close()
+				if perr != nil {
+					errc <- fmt.Errorf("mid-sweep /metrics does not parse: %w", perr)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if err := <-sweeps; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// GET /v1/sweeps/{id} reports live progress: counts by outcome, done
+// state, and 404 for sweeps the server never ran.
+func TestProgressEndpoint(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := st.Accepted.Sweep
+	if _, done, err := st.Drain(); err != nil || done == nil {
+		t.Fatalf("drain: done=%v err=%v", done, err)
+	}
+	st.Close()
+
+	snap, err := cl.Progress(ctx, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Sweep != sweep || snap.State != "done" {
+		t.Fatalf("snapshot %+v, want sweep %s done", snap, sweep)
+	}
+	if snap.Cells != 3 || snap.Done != 3 {
+		t.Fatalf("progress %d/%d, want 3/3", snap.Done, snap.Cells)
+	}
+	total := 0
+	for _, n := range snap.Outcomes {
+		total += n
+	}
+	if total != 3 || snap.Outcomes["computed"] != 3 {
+		t.Fatalf("outcomes %v, want 3 computed", snap.Outcomes)
+	}
+	if snap.ETAMS != 0 {
+		t.Fatalf("done sweep has ETA %dms", snap.ETAMS)
+	}
+	if snap.CellEWMAUS <= 0 {
+		t.Fatalf("cell EWMA %v, want > 0 after computed cells", snap.CellEWMAUS)
+	}
+
+	if _, err := cl.Progress(ctx, "no-such-sweep"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown sweep: err=%v, want 404", err)
+	}
+}
+
+// GET /v1/sweeps/{id}/trace exports the sweep's cells as a loadable
+// Chrome trace_event document with named lanes.
+func TestTraceEndpoint(t *testing.T) {
+	_, cl := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := st.Accepted.Sweep
+	cells, done, err := st.Drain()
+	st.Close()
+	if err != nil || done == nil {
+		t.Fatalf("drain: done=%v err=%v", done, err)
+	}
+
+	resp, err := http.Get(cl.Base + "/v1/sweeps/" + sweep + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: %s", resp.Status)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	byName := map[string]bool{}
+	lanes := 0
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name] = true
+		if ev.Name == "thread_name" {
+			lanes++
+		}
+	}
+	if !byName["process_name"] || lanes < 2 {
+		t.Fatalf("trace lacks metadata (process=%v lanes=%d):\n%+v", byName["process_name"], lanes, doc.TraceEvents)
+	}
+	for _, ev := range cells {
+		if !byName[ev.ID] {
+			t.Fatalf("trace lacks a span for cell %s", ev.ID)
+		}
+	}
+
+	resp2, err := http.Get(cl.Base + "/v1/sweeps/no-such-sweep/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown sweep trace: %s, want 404", resp2.Status)
+	}
+}

@@ -28,8 +28,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -37,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wlcache/internal/obs"
 	"wlcache/internal/runner"
 	"wlcache/internal/sim"
 )
@@ -75,6 +78,13 @@ type Config struct {
 	AfterJournal func(total int)
 	// Log receives operational messages (nil = discard).
 	Log *log.Logger
+	// Logger receives structured request/sweep/cell logs keyed by
+	// request ID (nil = discard). Sweep lifecycle logs at Info,
+	// per-cell and probe traffic at Debug.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints are opt-in, never ambient.
+	EnablePprof bool
 }
 
 func (c Config) normalize() Config {
@@ -101,6 +111,9 @@ func (c Config) normalize() Config {
 	}
 	if c.Log == nil {
 		c.Log = log.New(io.Discard, "", 0)
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -161,7 +174,19 @@ type Server struct {
 	cfg   Config
 	store *runner.Flight
 	mux   *http.ServeMux
+	h     http.Handler // mux wrapped with request instrumentation
 	hs    *http.Server
+	slog  *slog.Logger
+
+	// reg accumulates the latency histograms /metrics renders
+	// alongside the /metricz counter snapshot.
+	reg *obs.SyncRegistry
+
+	// progMu guards the per-sweep progress records behind
+	// GET /v1/sweeps/{id} and its /trace export.
+	progMu   sync.Mutex
+	prog     map[string]*progress
+	progDone []*progress // completed, oldest first, for eviction
 
 	sem     chan struct{} // run slots
 	drainCh chan struct{}
@@ -202,6 +227,9 @@ func New(cfg Config) (*Server, error) {
 		cfg:        cfg,
 		store:      runner.NewFlight(),
 		mux:        http.NewServeMux(),
+		slog:       cfg.Logger,
+		reg:        obs.NewSyncRegistry(),
+		prog:       make(map[string]*progress),
 		sem:        make(chan struct{}, cfg.MaxConcurrent),
 		drainCh:    make(chan struct{}),
 		hardCtx:    hardCtx,
@@ -211,9 +239,20 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.mux.HandleFunc("/v1/sweeps", s.handleSweeps)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleSweepTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
+	s.h = s.instrument(s.mux)
 	return s, nil
 }
 
@@ -265,12 +304,13 @@ func (s *Server) noteLoadStats(stats runner.LoadStats) {
 	}
 }
 
-// Handler returns the service's HTTP handler (httptest-friendly).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler (httptest-friendly),
+// request instrumentation included.
+func (s *Server) Handler() http.Handler { return s.h }
 
 // Serve accepts connections until Shutdown or a listener error.
 func (s *Server) Serve(ln net.Listener) error {
-	s.hs = &http.Server{Handler: s.mux}
+	s.hs = &http.Server{Handler: s.h}
 	err := s.hs.Serve(ln)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
@@ -334,7 +374,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetricz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.Metrics())
+	if err := json.NewEncoder(w).Encode(s.Metrics()); err != nil {
+		// Headers are gone; all that's left is to not fail silently.
+		s.cfg.Log.Printf("serve: /metricz response: %v", err)
+	}
 }
 
 // Metrics snapshots the server-wide counters.
@@ -399,11 +442,15 @@ func (s *Server) admit(ctx context.Context) (func(), admitStatus) {
 		return nil, admitShed
 	}
 	s.waiting++
+	s.reg.Set(mQueueDepth, obs.DirLower, float64(s.waiting))
 	s.mu.Unlock()
+	queued := time.Now()
 	defer func() {
 		s.mu.Lock()
 		s.waiting--
+		s.reg.Set(mQueueDepth, obs.DirLower, float64(s.waiting))
 		s.mu.Unlock()
+		s.reg.Observe(mQueueWait, obs.DirLower, float64(time.Since(queued).Microseconds()))
 	}()
 	select {
 	case s.sem <- struct{}{}:
@@ -466,16 +513,19 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sweepID := spec.ID(s.cfg.Engine)
+	rid := RequestIDFrom(r.Context())
 
 	release, verdict := s.admit(r.Context())
 	switch verdict {
 	case admitShed:
 		s.c.sweepsRejected.Add(1)
+		s.slog.Warn("sweep shed", "request", rid, "sweep", sweepID)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		httpError(w, http.StatusTooManyRequests, "sweep queue full, retry after %s", s.cfg.RetryAfter)
 		return
 	case admitUnavailable:
 		s.c.sweepsUnavailable.Add(1)
+		s.slog.Warn("sweep refused, draining", "request", rid, "sweep", sweepID)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		httpError(w, http.StatusServiceUnavailable, "server draining")
 		return
@@ -489,6 +539,7 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		s.beforeRun(sweepID)
 	}
 	s.c.sweepsAccepted.Add(1)
+	s.slog.Info("sweep accepted", "request", rid, "sweep", sweepID, "cells", spec.NumCells())
 	s.runSweep(w, r, spec, sweepID)
 	s.c.sweepsCompleted.Add(1)
 }
@@ -500,6 +551,9 @@ func (s *Server) runSweep(w http.ResponseWriter, r *http.Request, spec Spec, swe
 	for i, p := range planned {
 		cells[i] = p.cell
 	}
+	rid := RequestIDFrom(r.Context())
+	start := time.Now()
+	prog := s.progressStart(sweepID, rid, len(cells), s.cfg.Workers)
 
 	// The sweep context: client disconnect, the per-request budget, and
 	// the shutdown drain deadline all cancel it; the runner degrades
@@ -549,7 +603,7 @@ func (s *Server) runSweep(w http.ResponseWriter, r *http.Request, spec Spec, swe
 			flusher.Flush()
 		}
 	}
-	writeEvent(Event{Type: EventAccepted, Sweep: sweepID, Cells: len(cells)})
+	writeEvent(Event{Type: EventAccepted, Sweep: sweepID, Request: rid, Cells: len(cells)})
 
 	events := make(chan runner.CellDone, 256)
 	var rep runner.Report
@@ -569,13 +623,23 @@ func (s *Server) runSweep(w http.ResponseWriter, r *http.Request, spec Spec, swe
 					s.cfg.AfterJournal(int(n))
 				}
 			},
+			ObserveFsync: func(d time.Duration) {
+				s.reg.Observe(mJournalFsync, obs.DirLower, float64(d.Microseconds()))
+			},
 			OnCell: func(d runner.CellDone) { events <- d },
 		}, cells)
 	}()
 
 	for d := range events {
+		s.noteCell(d)
+		s.progressCell(prog, d, time.Since(start))
+		s.slog.Debug("cell done",
+			"request", rid, "sweep", sweepID, "cell", d.ID,
+			"source", string(d.Source), "dur_us", d.Dur.Microseconds(),
+			"wait_us", d.Wait.Microseconds(), "attempts", d.Attempts)
 		ev := Event{
 			Type:     EventCell,
+			Request:  rid,
 			Index:    d.Index,
 			ID:       d.ID,
 			Kind:     planned[d.Index].meta.Kind,
@@ -609,7 +673,15 @@ func (s *Server) runSweep(w http.ResponseWriter, r *http.Request, spec Spec, swe
 	s.c.cellsPanicked.Add(int64(rep.Metrics.Panics))
 	s.noteLoadStats(rep.Metrics.Journal)
 
-	doneEv := Event{Type: EventDone, Sweep: sweepID, Metrics: sweepMetricsFrom(rep.Metrics)}
+	s.progressEnd(prog, runErr)
+	s.slog.Info("sweep done",
+		"request", rid, "sweep", sweepID, "cells", len(cells),
+		"computed", rep.Metrics.Computed, "from_journal", rep.Metrics.FromJournal,
+		"from_shared", rep.Metrics.FromShared, "deduped", rep.Metrics.Deduped,
+		"failed", rep.Metrics.Failed+rep.Metrics.OptionalFailed,
+		"skipped", rep.Metrics.Skipped, "dur_ms", time.Since(start).Milliseconds())
+
+	doneEv := Event{Type: EventDone, Sweep: sweepID, Request: rid, Metrics: sweepMetricsFrom(rep.Metrics)}
 	if runErr != nil {
 		// Cells are all tolerated, so this is journal/infrastructure
 		// damage; the stream still ends well-formed.
