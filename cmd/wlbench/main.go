@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"wlcache/internal/expt"
+	"wlcache/internal/hostinfo"
 	"wlcache/internal/power"
 	"wlcache/internal/serve"
 	"wlcache/internal/sim"
@@ -123,9 +124,14 @@ func run(args []string, stdout io.Writer) error {
 		serveChild = fs.Bool("serve-child", false, "internal: act as the wlserve server (chaos harness child)")
 		addr       = fs.String("addr", "127.0.0.1:0", "with -serve-child: listen address")
 		dataDir    = fs.String("data", "", "with -chaos -serve: sweep-journal data directory (default: a temp dir)")
+		version    = fs.Bool("version", false, "print engine version and build info, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, hostinfo.Version("wlbench"))
+		return nil
 	}
 
 	if *serveChild {
@@ -696,10 +702,14 @@ type benchResult struct {
 	Checksum     uint32  `json:"checksum"`
 }
 
-// benchFile is the -json document.
+// benchFile is the -json document. Host self-describes the machine and
+// binary that produced the numbers so run-history entries are
+// comparable-or-explicitly-not; old documents without it still ingest
+// (as host "unknown").
 type benchFile struct {
-	Schema  string        `json:"schema"`
-	Results []benchResult `json:"results"`
+	Schema  string         `json:"schema"`
+	Host    *hostinfo.Info `json:"host,omitempty"`
+	Results []benchResult  `json:"results"`
 }
 
 // runJSONBench runs the machine-readable benchmark suite: the paper's
@@ -709,7 +719,8 @@ type benchFile struct {
 // ignored); any divergence is an error, which is what lets CI catch an
 // optimization that changed simulation results.
 func runJSONBench(path, goldenPath string, wls []string, scale int, stdout io.Writer) error {
-	doc := benchFile{Schema: benchSchema}
+	host := hostinfo.Collect()
+	doc := benchFile{Schema: benchSchema, Host: &host}
 	for _, kind := range expt.FigureKinds() {
 		for _, wl := range wls {
 			start := time.Now()

@@ -38,6 +38,7 @@ import (
 
 	"wlcache/internal/expt"
 	"wlcache/internal/fault"
+	"wlcache/internal/hostinfo"
 	"wlcache/internal/sim"
 )
 
@@ -79,9 +80,14 @@ func run(args []string, stdout io.Writer) (int, error) {
 		points    = fs.Int("points", def.Points, "crash points sampled per run")
 		scale     = fs.Int("scale", def.Scale, "workload input-size multiplier")
 		verbose   = fs.Bool("v", false, "print every failing cell")
+		version   = fs.Bool("version", false, "print engine version and build info, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 0, err
+	}
+	if *version {
+		fmt.Fprintln(stdout, hostinfo.Version("wlfault"))
+		return 0, nil
 	}
 
 	m := def

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"wlcache/internal/expt"
+	"wlcache/internal/hostinfo"
 	"wlcache/internal/load"
 	"wlcache/internal/serve"
 )
@@ -66,9 +67,14 @@ func run(args []string, stdout io.Writer) (int, error) {
 		traceOut = fs.String("trace", "", "fetch the first sweep's Chrome trace_event export here")
 		maxP99   = fs.Duration("max-p99", 0, "gate: exit 2 when submit→done p99 exceeds this (0 = no gate)")
 		timeout  = fs.Duration("timeout", 10*time.Minute, "whole-run deadline")
+		version  = fs.Bool("version", false, "print engine version and build info, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1, err
+	}
+	if *version {
+		fmt.Fprintln(stdout, hostinfo.Version("wlload"))
+		return 0, nil
 	}
 	if (*addr == "") == (*serveBin == "") {
 		return 1, fmt.Errorf("exactly one of -addr or -serve-bin is required")

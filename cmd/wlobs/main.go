@@ -38,6 +38,7 @@ import (
 
 	"wlcache/internal/expt"
 	"wlcache/internal/fault"
+	"wlcache/internal/hostinfo"
 	"wlcache/internal/isa"
 	"wlcache/internal/load"
 	"wlcache/internal/obs"
@@ -62,6 +63,9 @@ func run(args []string, stdout io.Writer) (int, error) {
 		return 0, fmt.Errorf("usage: wlobs record|diff|summary|spans|attribute|flame [flags]; see `wlobs <cmd> -h`")
 	}
 	switch args[0] {
+	case "-version", "--version", "version":
+		fmt.Fprintln(stdout, hostinfo.Version("wlobs"))
+		return 0, nil
 	case "record":
 		return runRecord(args[1:], stdout)
 	case "diff":

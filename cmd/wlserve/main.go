@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"wlcache/internal/hostinfo"
 	"wlcache/internal/serve"
 )
 
@@ -67,9 +68,14 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		killAfter  = fs.Int("kill-after", 0, "SIGKILL this process after N durable journal appends (chaos harness internal)")
 		pprof      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in)")
 		logLevel   = fs.String("log-level", "info", "structured log level: debug, info, warn, error")
+		version    = fs.Bool("version", false, "print engine version and build info, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, hostinfo.Version("wlserve"))
+		return nil
 	}
 	if *data == "" {
 		return fmt.Errorf("-data is required")

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"wlcache/internal/expt"
+	"wlcache/internal/hostinfo"
 	"wlcache/internal/power"
 	"wlcache/internal/sim"
 	"wlcache/internal/workload"
@@ -41,9 +42,14 @@ func run(args []string, stdout io.Writer) error {
 		check   = fs.Bool("check", true, "verify crash-consistency invariants")
 		asJSON  = fs.Bool("json", false, "emit the result as JSON")
 		list    = fs.Bool("list", false, "list benchmarks and exit")
+		version = fs.Bool("version", false, "print engine version and build info, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, hostinfo.Version("wlsim"))
+		return nil
 	}
 
 	if *list {

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"wlcache/internal/hostinfo"
 	"wlcache/internal/power"
 )
 
@@ -36,9 +37,14 @@ func run(args []string, stdout io.Writer) error {
 		csv  = fs.String("csv", "", "write the trace to this CSV file")
 		load = fs.String("load", "", "analyze an external CSV trace instead")
 		gen  = fs.String("gen", "", `synthesize a custom RF trace: "mean=10e-3,vol=0.5,dead=0.1,seed=7"`)
+		ver  = fs.Bool("version", false, "print engine version and build info, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ver {
+		fmt.Fprintln(stdout, hostinfo.Version("wltrace"))
+		return nil
 	}
 
 	var tr *power.Trace

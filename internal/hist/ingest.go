@@ -1,0 +1,421 @@
+// Format sniffing and ingestion: each supported document becomes one
+// history entry (two for the PR-5 before/after benchmark report) with
+// a flat, namespaced metric map. The metric kind and direction tables
+// here are the drift policy: what gates, what is informational, and
+// which way is "better".
+package hist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"wlcache/internal/hostinfo"
+	"wlcache/internal/obs"
+)
+
+// keyFrom builds a comparability key from collected host info, mapping
+// empty fields to Unknown.
+func keyFrom(i hostinfo.Info) Key {
+	k := Key{Engine: i.Engine, GitCommit: i.GitCommit, Host: i.Fingerprint()}
+	if k.Engine == "" {
+		k.Engine = Unknown
+	}
+	if k.Host == "" {
+		k.Host = Unknown
+	}
+	return k
+}
+
+// SelfKey is the comparability key of the running process: used when
+// the ingested document carries no host block (a live scrape, an obs
+// manifest) and the caller asserts the numbers were produced here.
+func SelfKey() Key { return keyFrom(hostinfo.Collect()) }
+
+// Ingest sniffs the document format and converts it to history
+// entries ready for Store.Append. name is recorded as the source
+// (typically the file path or URL).
+func Ingest(raw []byte, name, label string) ([]Entry, error) {
+	format, err := Sniff(raw)
+	if err != nil {
+		return nil, fmt.Errorf("hist: %s: %w", name, err)
+	}
+	var entries []Entry
+	switch format {
+	case "wlbench/v1":
+		entries, err = ingestBench(raw, name)
+	case "wlbench-pr/v1":
+		entries, err = ingestBenchPR(raw, name)
+	case "wlload/v1":
+		entries, err = ingestLoad(raw, name)
+	case obs.Schema: // wlobs/v1
+		entries, err = ingestManifest(raw, name)
+	case obs.AttrFormat: // wlattr/v1
+		entries, err = ingestAttr(raw, name)
+	case "prometheus":
+		entries, err = ingestProm(raw, name)
+	default:
+		return nil, fmt.Errorf("hist: %s: unsupported format %q", name, format)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("hist: %s: %w", name, err)
+	}
+	for i := range entries {
+		entries[i].Label = label
+	}
+	return entries, nil
+}
+
+// Sniff identifies a document: one of the repo's JSON report schemas,
+// a wlobs/v1 or wlattr/v1 JSONL stream, or a Prometheus text
+// exposition.
+func Sniff(raw []byte) (string, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return "", fmt.Errorf("empty document")
+	}
+	if trimmed[0] == '{' {
+		// Whole-document schema, or the first line of a JSONL stream.
+		var head struct {
+			Schema string `json:"schema"`
+			Format string `json:"format"`
+		}
+		line := trimmed
+		if i := bytes.IndexByte(line, '\n'); i >= 0 {
+			if err := json.Unmarshal(line[:i], &head); err == nil {
+				if head.Schema != "" || head.Format != "" {
+					line = line[:i]
+				}
+			}
+		}
+		if err := json.Unmarshal(line, &head); err != nil {
+			return "", fmt.Errorf("sniff: %v", err)
+		}
+		switch {
+		case head.Schema != "":
+			return head.Schema, nil
+		case head.Format != "":
+			return head.Format, nil
+		}
+		return "", fmt.Errorf("sniff: JSON document carries no schema/format field")
+	}
+	if trimmed[0] == '#' || bytes.Contains(trimmed, []byte("# TYPE")) {
+		return "prometheus", nil
+	}
+	// A bare exposition with no comment lines still parses as
+	// name/value pairs; accept it if the first token looks like one.
+	if f := bytes.Fields(bytes.SplitN(trimmed, []byte("\n"), 2)[0]); len(f) == 2 {
+		return "prometheus", nil
+	}
+	return "", fmt.Errorf("sniff: unrecognized document")
+}
+
+// --- wlbench/v1 -----------------------------------------------------
+
+// benchDoc mirrors cmd/wlbench's -json output.
+type benchDoc struct {
+	Schema  string         `json:"schema"`
+	Host    *hostinfo.Info `json:"host"`
+	Results []struct {
+		Design   string  `json:"design"`
+		Workload string  `json:"workload"`
+		Trace    string  `json:"trace"`
+		HostNs   int64   `json:"host_ns"`
+		NsPerOp  float64 `json:"ns_per_op"`
+		IPS      float64 `json:"sim_instrs_per_sec"`
+		ExecPS   int64   `json:"sim_exec_ps"`
+		Instrs   uint64  `json:"instructions"`
+		Outages  uint64  `json:"outages"`
+		Stalls   uint64  `json:"stalls"`
+		Wbacks   uint64  `json:"writebacks"`
+		DirtyPk  int     `json:"dirty_peak"`
+		AvgDirty float64 `json:"avg_dirty_per_ckpt"`
+		Checksum uint32  `json:"checksum"`
+	} `json:"results"`
+}
+
+func ingestBench(raw []byte, name string) ([]Entry, error) {
+	var doc benchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	key := SelfKey()
+	if doc.Host != nil {
+		key = keyFrom(*doc.Host)
+	} else {
+		// No host block (pre-PR-9 report): the wall-clock numbers are
+		// from an unknown machine, not this one.
+		key.Host = Unknown
+		key.GitCommit = ""
+	}
+	metrics := make(map[string]Metric)
+	for _, r := range doc.Results {
+		p := fmt.Sprintf("cell.%s.%s.%s.", r.Design, r.Workload, r.Trace)
+		// Simulated outcomes: deterministic, host-independent.
+		metrics[p+"checksum"] = Metric{Value: float64(r.Checksum), Kind: KindExact}
+		metrics[p+"instructions"] = Metric{Value: float64(r.Instrs), Kind: KindExact}
+		metrics[p+"sim_exec_ps"] = Metric{Value: float64(r.ExecPS), Unit: "ps", Dir: "lower", Kind: KindExact}
+		metrics[p+"outages"] = Metric{Value: float64(r.Outages), Dir: "lower", Kind: KindExact}
+		metrics[p+"stalls"] = Metric{Value: float64(r.Stalls), Dir: "lower", Kind: KindExact}
+		metrics[p+"writebacks"] = Metric{Value: float64(r.Wbacks), Dir: "lower", Kind: KindExact}
+		metrics[p+"dirty_peak"] = Metric{Value: float64(r.DirtyPk), Dir: "lower", Kind: KindExact}
+		metrics[p+"avg_dirty_per_ckpt"] = Metric{Value: r.AvgDirty, Dir: "lower", Kind: KindExact}
+		// Host-speed measurements: gate only within one fingerprint.
+		metrics[p+"host_ns"] = Metric{Value: float64(r.HostNs), Unit: "ns", Dir: "lower", Kind: KindPerf}
+		metrics[p+"ns_per_op"] = Metric{Value: r.NsPerOp, Unit: "ns/op", Dir: "lower", Kind: KindPerf}
+		metrics[p+"sim_instrs_per_sec"] = Metric{Value: r.IPS, Unit: "instr/s", Dir: "higher", Kind: KindPerf}
+	}
+	return []Entry{{
+		Source:  Source{Format: "wlbench/v1", Name: name},
+		Key:     key,
+		Metrics: metrics,
+	}}, nil
+}
+
+// --- wlbench-pr/v1 --------------------------------------------------
+
+// benchPRDoc mirrors the hand-written BENCH_PR5.json before/after
+// report. It becomes TWO entries — the seed column and the optimized
+// column — sharing one host string, so the end-to-end wall time forms
+// a real two-point series. The per-benchmark numbers are recorded as
+// info metrics on the optimized entry only: the report itself accepts
+// one microbenchmark regression (IntegrateShort) as a deliberate
+// trade, so those columns must not feed the gate.
+type benchPRDoc struct {
+	Schema     string `json:"schema"`
+	Host       string `json:"host"`
+	Benchmarks []struct {
+		Name      string   `json:"name"`
+		Unit      string   `json:"unit"`
+		Seed      *float64 `json:"seed"`
+		Optimized float64  `json:"optimized"`
+	} `json:"benchmarks"`
+	EndToEnd struct {
+		SeedWallS      float64 `json:"seed_wall_s"`
+		OptimizedWallS float64 `json:"optimized_wall_s"`
+	} `json:"end_to_end"`
+}
+
+func ingestBenchPR(raw []byte, name string) ([]Entry, error) {
+	var doc benchPRDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	host := doc.Host
+	if host == "" {
+		host = Unknown
+	}
+	key := Key{Engine: Unknown, Host: host}
+	seed := Entry{
+		Source: Source{Format: "wlbench-pr/v1", Name: name + "#seed"},
+		Key:    key,
+		Metrics: map[string]Metric{
+			"e2e.wall_s": {Value: doc.EndToEnd.SeedWallS, Unit: "s", Dir: "lower", Kind: KindPerf},
+		},
+	}
+	opt := Entry{
+		Source: Source{Format: "wlbench-pr/v1", Name: name + "#optimized"},
+		Key:    key,
+		Metrics: map[string]Metric{
+			"e2e.wall_s": {Value: doc.EndToEnd.OptimizedWallS, Unit: "s", Dir: "lower", Kind: KindPerf},
+		},
+	}
+	for _, b := range doc.Benchmarks {
+		n := strings.TrimPrefix(b.Name, "Benchmark")
+		opt.Metrics["bench."+n] = Metric{Value: b.Optimized, Unit: b.Unit, Dir: "lower", Kind: KindInfo}
+		if b.Seed != nil {
+			seed.Metrics["bench."+n] = Metric{Value: *b.Seed, Unit: b.Unit, Dir: "lower", Kind: KindInfo}
+		}
+	}
+	return []Entry{seed, opt}, nil
+}
+
+// --- wlload/v1 ------------------------------------------------------
+
+// loadDoc mirrors load.Report.
+type loadDoc struct {
+	Schema string         `json:"schema"`
+	Host   *hostinfo.Info `json:"host"`
+
+	Submitted     int     `json:"submitted"`
+	Completed     int     `json:"completed"`
+	Shed          int     `json:"shed"`
+	HTTP5xx       int     `json:"http_5xx"`
+	Failed        int     `json:"failed"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	CellsPerSec   float64 `json:"cells_per_sec"`
+	Latency       struct {
+		P50MS  float64 `json:"p50_ms"`
+		P95MS  float64 `json:"p95_ms"`
+		P99MS  float64 `json:"p99_ms"`
+		MeanMS float64 `json:"mean_ms"`
+		MaxMS  float64 `json:"max_ms"`
+	} `json:"latency"`
+	DedupRatio float64 `json:"dedup_ratio"`
+	ShedRate   float64 `json:"shed_rate"`
+}
+
+func ingestLoad(raw []byte, name string) ([]Entry, error) {
+	var doc loadDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	key := SelfKey()
+	if doc.Host != nil {
+		key = keyFrom(*doc.Host)
+	} else {
+		key.Host = Unknown
+		key.GitCommit = ""
+	}
+	metrics := map[string]Metric{
+		"load.throughput_rps":  {Value: doc.ThroughputRPS, Unit: "req/s", Dir: "higher", Kind: KindPerf},
+		"load.cells_per_sec":   {Value: doc.CellsPerSec, Unit: "cells/s", Dir: "higher", Kind: KindPerf},
+		"load.latency.p50_ms":  {Value: doc.Latency.P50MS, Unit: "ms", Dir: "lower", Kind: KindLatency},
+		"load.latency.p95_ms":  {Value: doc.Latency.P95MS, Unit: "ms", Dir: "lower", Kind: KindLatency},
+		"load.latency.p99_ms":  {Value: doc.Latency.P99MS, Unit: "ms", Dir: "lower", Kind: KindLatency},
+		"load.latency.mean_ms": {Value: doc.Latency.MeanMS, Unit: "ms", Dir: "lower", Kind: KindLatency},
+		"load.latency.max_ms":  {Value: doc.Latency.MaxMS, Unit: "ms", Dir: "lower", Kind: KindLatency},
+		// Correctness counters: any 5xx or failed cell is drift even
+		// across hosts.
+		"load.http_5xx": {Value: float64(doc.HTTP5xx), Dir: "lower", Kind: KindExact},
+		"load.failed":   {Value: float64(doc.Failed), Dir: "lower", Kind: KindExact},
+		// Shape of the run: informational (depends on flags and load).
+		"load.submitted":   {Value: float64(doc.Submitted), Kind: KindInfo},
+		"load.completed":   {Value: float64(doc.Completed), Kind: KindInfo},
+		"load.shed":        {Value: float64(doc.Shed), Kind: KindInfo},
+		"load.dedup_ratio": {Value: doc.DedupRatio, Kind: KindInfo},
+		"load.shed_rate":   {Value: doc.ShedRate, Kind: KindInfo},
+	}
+	return []Entry{{
+		Source:  Source{Format: "wlload/v1", Name: name},
+		Key:     key,
+		Metrics: metrics,
+	}}, nil
+}
+
+// --- wlobs/v1 (manifest JSONL) --------------------------------------
+
+func ingestManifest(raw []byte, name string) ([]Entry, error) {
+	ms, err := obs.ReadManifests(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	key := SelfKey()
+	var entries []Entry
+	for _, m := range ms {
+		p := fmt.Sprintf("obs.%s.%s.%s.", m.Design, m.Workload, m.Trace)
+		metrics := make(map[string]Metric)
+		for _, c := range m.Counters {
+			metrics[p+c.Name] = Metric{Value: float64(c.Value), Dir: c.Dir, Kind: manifestKind(c.Name)}
+		}
+		for _, g := range m.Gauges {
+			metrics[p+g.Name+".last"] = Metric{Value: g.Last, Dir: g.Dir, Kind: KindInfo}
+			metrics[p+g.Name+".max"] = Metric{Value: g.Max, Dir: g.Dir, Kind: KindInfo}
+		}
+		for _, h := range m.Histograms {
+			if h.Count == 0 {
+				continue
+			}
+			metrics[p+h.Name+".mean"] = Metric{Value: h.Sum / float64(h.Count), Dir: h.Dir, Kind: KindInfo}
+			metrics[p+h.Name+".max"] = Metric{Value: h.Max, Dir: h.Dir, Kind: KindInfo}
+		}
+		entries = append(entries, Entry{
+			Source:  Source{Format: obs.Schema, Name: name + "#" + m.Design + "/" + m.Workload + "/" + m.Trace},
+			Key:     key,
+			Metrics: metrics,
+		})
+	}
+	return entries, nil
+}
+
+// manifestKind classifies a manifest counter: the simulated outcome
+// and power counters are deterministic per engine version, the rest
+// trend informationally (their regressions are judged by the manifest
+// differ, which knows per-metric thresholds).
+func manifestKind(name string) string {
+	switch name {
+	case "result.checksum", "power.outages":
+		return KindExact
+	}
+	return KindInfo
+}
+
+// --- wlattr/v1 ------------------------------------------------------
+
+func ingestAttr(raw []byte, name string) ([]Entry, error) {
+	recs, err := obs.ReadAttrs(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	key := SelfKey()
+	var entries []Entry
+	for _, r := range recs {
+		p := fmt.Sprintf("attr.%s.%s.%s.", r.Design, r.Workload, r.Trace)
+		metrics := map[string]Metric{
+			p + "total_ps":       {Value: float64(r.TotalPS), Unit: "ps", Dir: "lower", Kind: KindExact},
+			p + "coverage":       {Value: r.Coverage, Dir: "higher", Kind: KindPerf},
+			p + "unknown_ps":     {Value: float64(r.UnknownPS), Unit: "ps", Dir: "lower", Kind: KindInfo},
+			p + "events_dropped": {Value: float64(r.EventsDropped), Dir: "lower", Kind: KindExact},
+		}
+		for cat, ps := range r.Categories {
+			kind := KindPerf
+			dir := "lower"
+			if cat == "compute" {
+				// Compute time is the workload itself, not overhead.
+				kind, dir = KindInfo, ""
+			}
+			metrics[p+"cat."+cat+"_ps"] = Metric{Value: float64(ps), Unit: "ps", Dir: dir, Kind: kind}
+		}
+		entries = append(entries, Entry{
+			Source:  Source{Format: obs.AttrFormat, Name: name + "#" + r.Design + "/" + r.Workload + "/" + r.Trace},
+			Key:     key,
+			Metrics: metrics,
+		})
+	}
+	return entries, nil
+}
+
+// --- Prometheus text ------------------------------------------------
+
+// ingestProm flattens a /metrics scrape into info metrics: a live
+// gauge read is a point-in-time snapshot of a moving system, useful
+// for trends and dashboards but never a gate. Histogram buckets are
+// skipped (the _sum/_count series carry the trend).
+func ingestProm(raw []byte, name string) ([]Entry, error) {
+	samples, err := obs.ParsePrometheus(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	metrics := make(map[string]Metric)
+	for _, s := range samples {
+		if strings.HasSuffix(s.Name, "_bucket") {
+			continue
+		}
+		n := "prom." + s.Name
+		if len(s.Labels) > 0 {
+			n += "{" + promLabelSignature(s.Labels) + "}"
+		}
+		metrics[n] = Metric{Value: s.Value, Kind: KindInfo}
+	}
+	return []Entry{{
+		Source:  Source{Format: "prometheus", Name: name},
+		Key:     SelfKey(),
+		Metrics: metrics,
+	}}, nil
+}
+
+// promLabelSignature renders a label set deterministically.
+func promLabelSignature(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
+}

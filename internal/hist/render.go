@@ -1,0 +1,110 @@
+// Terminal rendering: the trend table (one sparkline row per metric)
+// and the gate report. Both use the fixed-layout table from the stats
+// package so wlhist output lines up with wlbench and wlfault.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wlcache/internal/stats"
+)
+
+// TrendTable renders every series whose name contains filter (empty
+// matches all) as a labelled sparkline row.
+func TrendTable(s *Store, filter string) string {
+	t := stats.NewTextTable(
+		fmt.Sprintf("run history — %d entries (%s)", s.Len(), s.Path()),
+		"n", "kind", "dir", "first", "last", "delta", "trend")
+	t.Label = "metric"
+	rows := 0
+	for _, sr := range s.SeriesAll() {
+		if filter != "" && !strings.Contains(sr.Name, filter) {
+			continue
+		}
+		vals := make([]float64, len(sr.Points))
+		for i, p := range sr.Points {
+			vals[i] = p.Value
+		}
+		first, last := vals[0], vals[len(vals)-1]
+		t.Add(sr.Name,
+			fmt.Sprintf("%d", len(vals)),
+			sr.Kind,
+			sr.Dir.String(),
+			compactFloat(first),
+			compactFloat(last),
+			deltaString(first, last),
+			stats.Sparkline(vals),
+		)
+		rows++
+	}
+	if rows == 0 {
+		return fmt.Sprintf("run history — %d entries, no series match %q\n", s.Len(), filter)
+	}
+	return t.String()
+}
+
+// GateTable renders the drift verdicts. Only metrics that changed
+// (regressed or improved) get a row; stable and skipped metrics are
+// counted in the summary so a clean run stays a few lines.
+func GateTable(rep GateReport) string {
+	ok := 0
+	for _, f := range rep.Findings {
+		if f.Verdict == "ok" {
+			ok++
+		}
+	}
+	title := fmt.Sprintf("drift gate — %d compared (%d unchanged), %d skipped, %d regression(s)",
+		rep.Compared, ok, rep.Skipped, rep.Regressions)
+	t := stats.NewTextTable(title,
+		"verdict", "kind", "baseline", "latest", "delta", "note")
+	t.Label = "metric"
+	add := func(f Finding) {
+		t.Add(f.Metric, strings.ToUpper(f.Verdict), f.Kind,
+			compactFloat(f.Baseline), compactFloat(f.Latest),
+			deltaString(f.Baseline, f.Latest), f.Note)
+	}
+	for _, f := range rep.Findings {
+		if f.Regressed() {
+			add(f)
+		}
+	}
+	for _, f := range rep.Findings {
+		if f.Verdict == "improved" {
+			add(f)
+		}
+	}
+	if t.Rows() == 0 {
+		return title + "\n"
+	}
+	return t.String()
+}
+
+// compactFloat formats a value tightly for table cells.
+func compactFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		if math.Abs(v) >= 1e7 {
+			return fmt.Sprintf("%.3g", v)
+		}
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000 || (v != 0 && math.Abs(v) < 0.001):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// deltaString renders the first→last relative change, "=" when flat.
+func deltaString(from, to float64) string {
+	if from == to {
+		return "="
+	}
+	if from == 0 {
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(to-from)/math.Abs(from))
+}

@@ -1,0 +1,54 @@
+package hostinfo
+
+import (
+	"strings"
+	"testing"
+
+	"wlcache/internal/sim"
+)
+
+func TestCollect(t *testing.T) {
+	i := Collect()
+	if i.GoVersion == "" || i.GoMaxProcs < 1 || i.NumCPU < 1 {
+		t.Fatalf("incomplete info: %+v", i)
+	}
+	if i.Engine != sim.EngineVersion {
+		t.Fatalf("engine %q, want %q", i.Engine, sim.EngineVersion)
+	}
+	if i.CPUModel == "" {
+		t.Fatal("empty CPU model (architecture fallback should fill it)")
+	}
+}
+
+// The fingerprint separates "same machine class" from "not comparable":
+// a populated Info never fingerprints as unknown, the zero Info always
+// does, and the go version / CPU both participate.
+func TestFingerprint(t *testing.T) {
+	if got := (Info{}).Fingerprint(); got != "unknown" {
+		t.Fatalf("zero Info fingerprint = %q, want unknown", got)
+	}
+	i := Collect()
+	fp := i.Fingerprint()
+	if fp == "unknown" {
+		t.Fatal("collected Info fingerprints as unknown")
+	}
+	for _, part := range []string{i.GoVersion, i.CPUModel} {
+		if !strings.Contains(fp, part) {
+			t.Fatalf("fingerprint %q lacks %q", fp, part)
+		}
+	}
+	j := i
+	j.CPUModel = "other-cpu"
+	if j.Fingerprint() == fp {
+		t.Fatal("different CPU models share a fingerprint")
+	}
+}
+
+func TestVersion(t *testing.T) {
+	out := Version("wltool")
+	for _, want := range []string{"wltool", sim.EngineVersion, "go:", "commit:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Version output lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"wlcache/internal/expt"
+	"wlcache/internal/hostinfo"
 	"wlcache/internal/obs"
 	"wlcache/internal/serve"
 	"wlcache/internal/stats"
@@ -112,15 +113,19 @@ type Scrape struct {
 	Metrics     serve.MetricsSnapshot `json:"metrics"`
 }
 
-// Report is the wlload/v1 document.
+// Report is the wlload/v1 document. Host self-describes the machine
+// that generated the load (the client side — latencies are measured
+// there) so run-history entries key comparably; old reports without it
+// still ingest as host "unknown".
 type Report struct {
-	Schema           string  `json:"schema"`
-	Target           string  `json:"target"`
-	Clients          int     `json:"clients"`
-	Phases           int     `json:"phases"`
-	RequestsPerPhase int     `json:"requests_per_phase"`
-	RatePerSec       float64 `json:"rate_per_sec,omitempty"`
-	DurMS            int64   `json:"dur_ms"`
+	Schema           string         `json:"schema"`
+	Host             *hostinfo.Info `json:"host,omitempty"`
+	Target           string         `json:"target"`
+	Clients          int            `json:"clients"`
+	Phases           int            `json:"phases"`
+	RequestsPerPhase int            `json:"requests_per_phase"`
+	RatePerSec       float64        `json:"rate_per_sec,omitempty"`
+	DurMS            int64          `json:"dur_ms"`
 
 	Submitted int `json:"submitted"`
 	Completed int `json:"completed"`
@@ -181,8 +186,9 @@ func (c *collector) noteErr(err error) {
 // sheds and per-sweep failures are data, recorded in the report.
 func Run(ctx context.Context, cfg Config) (Report, error) {
 	cfg = cfg.normalize()
+	host := hostinfo.Collect()
 	rep := Report{
-		Schema: Schema, Target: cfg.Base, Clients: cfg.Clients,
+		Schema: Schema, Host: &host, Target: cfg.Base, Clients: cfg.Clients,
 		Phases: cfg.Phases, RequestsPerPhase: cfg.Requests, RatePerSec: cfg.Rate,
 	}
 	cli := &serve.Client{Base: cfg.Base, HTTP: cfg.HTTP}

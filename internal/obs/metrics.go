@@ -30,6 +30,11 @@ func (d Dir) String() string {
 	return "none"
 }
 
+// DirFrom parses the manifest encoding of a direction ("lower",
+// "higher", anything else = none). The run-history store reuses it so
+// drift detection and manifest diffing agree on what a regression is.
+func DirFrom(s string) Dir { return dirFrom(s) }
+
 // dirFrom parses the manifest encoding back.
 func dirFrom(s string) Dir {
 	switch s {

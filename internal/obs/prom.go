@@ -1,7 +1,7 @@
 package obs
 
 import (
-	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -202,32 +202,172 @@ type PromSample struct {
 	Value  float64
 }
 
+// Typed scrape-validation errors. A scraper that races a deploy can
+// meet half-written or doubled expositions; callers branch on these
+// with errors.Is to tell a corrupt scrape from an I/O failure.
+var (
+	// ErrPromTruncated marks an exposition cut off mid-stream: the text
+	// format requires a final line feed, so a missing one means the
+	// writer died (or the connection closed) before finishing.
+	ErrPromTruncated = errors.New("truncated prometheus exposition")
+	// ErrPromDuplicateFamily marks a metric family declared twice — the
+	// signature of two expositions concatenated.
+	ErrPromDuplicateFamily = errors.New("duplicate prometheus metric family")
+	// ErrPromBucketOrder marks histogram buckets whose `le` bounds are
+	// not strictly increasing.
+	ErrPromBucketOrder = errors.New("prometheus histogram buckets out of order")
+	// ErrPromMissingInf marks a histogram family that never emitted its
+	// mandatory +Inf bucket.
+	ErrPromMissingInf = errors.New("prometheus histogram missing +Inf bucket")
+)
+
+// promHistState tracks one histogram series' bucket progression (keyed
+// by base name + non-le label signature).
+type promHistState struct {
+	lastLE float64
+	sawInf bool
+	line   int
+}
+
 // ParsePrometheus is a validating parser for the Prometheus text
 // exposition format subset this package writes: # comment lines,
 // `name value` and `name{k="v",...} value` samples. It returns every
 // sample in input order, erroring on any malformed line — the load
 // harness and tests use it to prove /metrics scrapes are well-formed.
+// Beyond line syntax it enforces the format's semantic rules: the
+// exposition ends in a line feed (ErrPromTruncated), a # TYPE family
+// is declared at most once (ErrPromDuplicateFamily), histogram bucket
+// bounds increase strictly (ErrPromBucketOrder) and every histogram
+// closes with its +Inf bucket (ErrPromMissingInf).
 func ParsePrometheus(r io.Reader) ([]PromSample, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+		return nil, fmt.Errorf("obs: %w: no final line feed", ErrPromTruncated)
+	}
+
 	var out []PromSample
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<24)
+	families := map[string]string{} // base name -> declared type
+	hists := map[string]*promHistState{}
 	lineNo := 0
-	for sc.Scan() {
+	for _, rawLine := range strings.Split(string(raw), "\n") {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := strings.TrimSpace(rawLine)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				fields := strings.Fields(rest)
+				if len(fields) >= 1 {
+					base := fields[0]
+					if _, dup := families[base]; dup {
+						return nil, fmt.Errorf("obs: prometheus line %d: %w: %s", lineNo, ErrPromDuplicateFamily, base)
+					}
+					kind := ""
+					if len(fields) >= 2 {
+						kind = fields[1]
+					}
+					families[base] = kind
+				}
+			}
 			continue
 		}
 		s, err := parsePromLine(line)
 		if err != nil {
 			return nil, fmt.Errorf("obs: prometheus line %d: %w", lineNo, err)
 		}
+		if base, ok := strings.CutSuffix(s.Name, "_bucket"); ok && families[base] == "histogram" {
+			if err := checkPromBucket(hists, base, s, lineNo); err != nil {
+				return nil, err
+			}
+		}
 		out = append(out, s)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	for _, st := range sortedHistStates(hists) {
+		if !st.state.sawInf {
+			return nil, fmt.Errorf("obs: prometheus line %d: %w: %s", st.state.line, ErrPromMissingInf, st.key)
+		}
 	}
 	return out, nil
+}
+
+// checkPromBucket folds one _bucket sample of a declared histogram
+// family into its series' ordering state.
+func checkPromBucket(hists map[string]*promHistState, base string, s PromSample, lineNo int) error {
+	leStr, ok := s.Labels["le"]
+	if !ok {
+		return fmt.Errorf("obs: prometheus line %d: %s_bucket sample without le label", lineNo, base)
+	}
+	var le float64
+	if leStr == "+Inf" {
+		le = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			return fmt.Errorf("obs: prometheus line %d: bad le bound %q: %v", lineNo, leStr, err)
+		}
+		le = v
+	}
+	key := base + "{" + promLabelSignature(s.Labels) + "}"
+	st, ok := hists[key]
+	if !ok {
+		st = &promHistState{lastLE: math.Inf(-1)}
+		hists[key] = st
+	}
+	st.line = lineNo
+	if st.sawInf || le <= st.lastLE {
+		return fmt.Errorf("obs: prometheus line %d: %w: %s le=%s after le=%s",
+			lineNo, ErrPromBucketOrder, key, leStr, promVal(st.lastLE))
+	}
+	st.lastLE = le
+	if math.IsInf(le, 1) {
+		st.sawInf = true
+	}
+	return nil
+}
+
+// promLabelSignature renders a label set minus `le`, sorted, so all
+// buckets of one histogram series share a key.
+func promLabelSignature(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// sortedHistStates orders the bucket states for deterministic error
+// selection when several histograms are incomplete.
+func sortedHistStates(hists map[string]*promHistState) []struct {
+	key   string
+	state *promHistState
+} {
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]struct {
+		key   string
+		state *promHistState
+	}, len(keys))
+	for i, k := range keys {
+		out[i] = struct {
+			key   string
+			state *promHistState
+		}{k, hists[k]}
+	}
+	return out
 }
 
 func parsePromLine(line string) (PromSample, error) {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -124,14 +125,106 @@ func TestWritePrometheusSanitizesNames(t *testing.T) {
 
 func TestParsePrometheusRejectsMalformed(t *testing.T) {
 	for _, bad := range []string{
-		`name{unterminated="v value`,
-		`name not-a-number`,
-		`{nobase="v"} 1`,
-		`na me 1`,
+		"name{unterminated=\"v value\n",
+		"name not-a-number\n",
+		"{nobase=\"v\"} 1\n",
+		"na me 1\n",
 	} {
 		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
 			t.Errorf("ParsePrometheus(%q) accepted malformed input", bad)
 		}
+	}
+}
+
+// Adversarial expositions a scraper can meet mid-deploy: each is
+// rejected with its typed sentinel, so callers can tell a corrupt
+// scrape from an I/O failure.
+func TestParsePrometheusAdversarial(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  error
+	}{
+		{
+			// Two expositions concatenated — e.g. a proxy gluing together
+			// responses from the old and new binary during a deploy.
+			name: "duplicate family",
+			input: "# TYPE reqs_total counter\nreqs_total 1\n" +
+				"# TYPE reqs_total counter\nreqs_total 2\n",
+			want: ErrPromDuplicateFamily,
+		},
+		{
+			name: "out-of-order buckets",
+			input: "# TYPE lat_us histogram\n" +
+				"lat_us_bucket{le=\"100\"} 3\n" +
+				"lat_us_bucket{le=\"10\"} 1\n" +
+				"lat_us_bucket{le=\"+Inf\"} 4\n" +
+				"lat_us_sum 120\nlat_us_count 4\n",
+			want: ErrPromBucketOrder,
+		},
+		{
+			name: "duplicate bucket bound",
+			input: "# TYPE lat_us histogram\n" +
+				"lat_us_bucket{le=\"10\"} 1\n" +
+				"lat_us_bucket{le=\"10\"} 2\n" +
+				"lat_us_bucket{le=\"+Inf\"} 2\n",
+			want: ErrPromBucketOrder,
+		},
+		{
+			name: "bucket after +Inf",
+			input: "# TYPE lat_us histogram\n" +
+				"lat_us_bucket{le=\"+Inf\"} 4\n" +
+				"lat_us_bucket{le=\"10\"} 1\n",
+			want: ErrPromBucketOrder,
+		},
+		{
+			name: "missing +Inf bucket",
+			input: "# TYPE lat_us histogram\n" +
+				"lat_us_bucket{le=\"10\"} 1\n" +
+				"lat_us_bucket{le=\"100\"} 3\n" +
+				"lat_us_sum 120\nlat_us_count 3\n",
+			want: ErrPromMissingInf,
+		},
+		{
+			// The format requires a final line feed; a scrape cut off
+			// mid-line (or mid-value) is truncation, not data.
+			name:  "truncated exposition",
+			input: "# TYPE reqs_total counter\nreqs_total 12",
+			want:  ErrPromTruncated,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePrometheus(strings.NewReader(tc.input))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// Per-series bucket validation: two label-distinguished series of one
+// histogram family interleave legally, and each must close with +Inf
+// independently.
+func TestParsePrometheusBucketSeries(t *testing.T) {
+	good := "# TYPE lat_us histogram\n" +
+		"lat_us_bucket{op=\"r\",le=\"10\"} 1\n" +
+		"lat_us_bucket{op=\"w\",le=\"10\"} 2\n" +
+		"lat_us_bucket{op=\"r\",le=\"+Inf\"} 1\n" +
+		"lat_us_bucket{op=\"w\",le=\"+Inf\"} 2\n"
+	if _, err := ParsePrometheus(strings.NewReader(good)); err != nil {
+		t.Fatalf("interleaved series rejected: %v", err)
+	}
+	bad := "# TYPE lat_us histogram\n" +
+		"lat_us_bucket{op=\"r\",le=\"10\"} 1\n" +
+		"lat_us_bucket{op=\"r\",le=\"+Inf\"} 1\n" +
+		"lat_us_bucket{op=\"w\",le=\"10\"} 2\n"
+	if _, err := ParsePrometheus(strings.NewReader(bad)); !errors.Is(err, ErrPromMissingInf) {
+		t.Fatalf("series w missing +Inf: err = %v, want ErrPromMissingInf", err)
+	}
+	// An empty exposition (e.g. a nil registry) parses to no samples.
+	if s, err := ParsePrometheus(strings.NewReader("")); err != nil || len(s) != 0 {
+		t.Fatalf("empty exposition: samples=%v err=%v", s, err)
 	}
 }
 

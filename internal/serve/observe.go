@@ -264,8 +264,13 @@ type progress struct {
 	finished time.Time
 	done     int
 	outcomes map[string]int
+	// ran counts the cells behind ewmaUS (computed, shared-store waits,
+	// failures). Journal serves and skips are excluded: until a cell has
+	// actually run, there is no basis for an ETA and the snapshot says
+	// so explicitly instead of reporting a degenerate value.
+	ran int
 	// ewmaUS smooths the per-cell wall time of cells that actually ran
-	// (computed, shared-store waits, failures) — the basis of the ETA.
+	// — the basis of the ETA.
 	ewmaUS float64
 	spans  []obs.TraceEvent
 	err    string
@@ -320,7 +325,11 @@ func (s *Server) progressCell(p *progress, d runner.CellDone, elapsed time.Durat
 		d.Source == runner.SourceFailed
 	if ran {
 		us := float64(d.Dur.Microseconds())
-		if p.ewmaUS == 0 {
+		p.ran++
+		if p.ran == 1 {
+			// First sample seeds the EWMA. The ran counter, not a zero
+			// check, decides this: a first cell faster than 1µs would
+			// otherwise leave ewmaUS at 0 and re-seed on every cell.
 			p.ewmaUS = us
 		} else {
 			p.ewmaUS = ewmaAlpha*us + (1-ewmaAlpha)*p.ewmaUS
@@ -398,9 +407,15 @@ type ProgressSnapshot struct {
 	CellEWMAUS float64 `json:"cell_ewma_us"`
 	// ETAMS estimates the remaining wall time as remaining × EWMA ÷
 	// workers — an upper bound, since journal/store serves are far
-	// cheaper than the EWMA. Zero when done or no cell has run yet.
-	ETAMS int64  `json:"eta_ms,omitempty"`
-	Error string `json:"error,omitempty"`
+	// cheaper than the EWMA. Zero when done or the ETA is unknown.
+	ETAMS int64 `json:"eta_ms,omitempty"`
+	// ETAUnknown is set while the sweep is running with cells remaining
+	// but no cell has run yet (everything so far was served from the
+	// journal or skipped): there is no per-cell sample to extrapolate
+	// from, and "unknown" is the honest answer — not 0ms, not an ETA
+	// seeded by a journal serve's near-zero duration.
+	ETAUnknown bool   `json:"eta_unknown,omitempty"`
+	Error      string `json:"error,omitempty"`
 }
 
 // progressSnapshot builds the progress document for one sweep ID.
@@ -422,12 +437,18 @@ func (s *Server) progressSnapshot(id string) (ProgressSnapshot, bool) {
 	end := p.finished
 	if p.state == "running" {
 		end = time.Now()
-		if remaining := p.cells - p.done; remaining > 0 && p.ewmaUS > 0 {
-			workers := p.workers
-			if workers < 1 {
-				workers = 1
+		if remaining := p.cells - p.done; remaining > 0 {
+			if p.ran == 0 {
+				// Zero-cells-run window: nothing has executed yet, so any
+				// ETA would be fabricated.
+				snap.ETAUnknown = true
+			} else {
+				workers := p.workers
+				if workers < 1 {
+					workers = 1
+				}
+				snap.ETAMS = int64(float64(remaining) * p.ewmaUS / float64(workers) / 1000)
 			}
-			snap.ETAMS = int64(float64(remaining) * p.ewmaUS / float64(workers) / 1000)
 		}
 	}
 	snap.ElapsedMS = end.Sub(p.started).Milliseconds()

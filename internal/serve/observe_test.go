@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"wlcache/internal/obs"
+	"wlcache/internal/runner"
 )
 
 // syncBuf is a goroutine-safe log sink for the structured logger.
@@ -327,6 +328,57 @@ func TestProgressEndpoint(t *testing.T) {
 	if _, err := cl.Progress(ctx, "no-such-sweep"); err == nil ||
 		!strings.Contains(err.Error(), "404") {
 		t.Fatalf("unknown sweep: err=%v, want 404", err)
+	}
+}
+
+// The EWMA ETA is guarded against the zero-cells-run window: while a
+// running sweep has only journal serves (or nothing) behind it, the
+// snapshot reports eta_unknown instead of a degenerate ETA, and the
+// first sub-microsecond computed cell still seeds the EWMA exactly
+// once.
+func TestProgressETAUnknownWindow(t *testing.T) {
+	s := &Server{prog: make(map[string]*progress)}
+	p := s.progressStart("sw-eta", "rid", 10, 2)
+
+	snap, ok := s.progressSnapshot("sw-eta")
+	if !ok {
+		t.Fatal("sweep not registered")
+	}
+	if !snap.ETAUnknown || snap.ETAMS != 0 {
+		t.Fatalf("before any cell: eta_unknown=%v eta_ms=%d, want unknown", snap.ETAUnknown, snap.ETAMS)
+	}
+
+	// Journal serves complete cells but run nothing: still unknown.
+	s.progressCell(p, runner.CellDone{ID: "c0", Source: runner.SourceJournal}, time.Millisecond)
+	snap, _ = s.progressSnapshot("sw-eta")
+	if !snap.ETAUnknown || snap.ETAMS != 0 || snap.CellEWMAUS != 0 {
+		t.Fatalf("after journal serve: %+v, want eta still unknown", snap)
+	}
+
+	// A computed cell faster than 1µs: the EWMA seeds (to 0µs) and the
+	// ETA becomes known — a genuine near-zero, not a fabricated one.
+	s.progressCell(p, runner.CellDone{ID: "c1", Source: runner.SourceComputed, Dur: 500 * time.Nanosecond}, 2*time.Millisecond)
+	snap, _ = s.progressSnapshot("sw-eta")
+	if snap.ETAUnknown {
+		t.Fatalf("after a computed cell the ETA must be known: %+v", snap)
+	}
+
+	// The zero first sample must not re-seed: the next cell updates via
+	// the EWMA (0.2 × 100000µs = 20000µs), not first-sample semantics.
+	s.progressCell(p, runner.CellDone{ID: "c2", Source: runner.SourceComputed, Dur: 100 * time.Millisecond}, 103*time.Millisecond)
+	snap, _ = s.progressSnapshot("sw-eta")
+	if snap.CellEWMAUS != 20000 {
+		t.Fatalf("EWMA after 0µs then 100000µs = %vµs, want 20000 (re-seeded instead of smoothed?)", snap.CellEWMAUS)
+	}
+	if snap.ETAMS <= 0 {
+		t.Fatalf("ETA = %dms, want > 0 with 7 cells remaining at 20000µs EWMA", snap.ETAMS)
+	}
+
+	// Done sweeps report neither an ETA nor unknown.
+	s.progressEnd(p, nil)
+	snap, _ = s.progressSnapshot("sw-eta")
+	if snap.ETAUnknown || snap.ETAMS != 0 {
+		t.Fatalf("done sweep: %+v, want no ETA fields", snap)
 	}
 }
 

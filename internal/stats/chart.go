@@ -89,3 +89,44 @@ func (c *BarChart) String() string {
 	}
 	return b.String()
 }
+
+// sparkRunes are the eight block heights a sparkline cell can take.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a value series as one line of block characters,
+// scaled to the series' own min..max — the terminal trend view of the
+// run-history store. NaN samples render as spaces; a flat series (or a
+// single point) renders at mid height so it reads as "present, not
+// moving" rather than empty.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		switch {
+		case math.IsNaN(v):
+			b.WriteByte(' ')
+		case hi <= lo:
+			b.WriteRune(sparkRunes[len(sparkRunes)/2])
+		default:
+			i := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(sparkRunes) {
+				i = len(sparkRunes) - 1
+			}
+			b.WriteRune(sparkRunes[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty series = %q, want empty string", got)
+	}
+	got := Sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp = %q, want full block ramp", got)
+	}
+	// Min and max always land on the extreme runes.
+	if got := Sparkline([]float64{10, 5, 20}); got != "▃▁█" {
+		t.Fatalf("mixed series = %q, want ▃▁█", got)
+	}
+}
+
+// A flat series and a single point render at mid height, not as a
+// degenerate all-max or all-min line; NaN samples leave gaps.
+func TestSparklineDegenerate(t *testing.T) {
+	if got := Sparkline([]float64{7, 7, 7}); got != "▅▅▅" {
+		t.Fatalf("flat series = %q, want ▅▅▅", got)
+	}
+	if got := Sparkline([]float64{42}); got != "▅" {
+		t.Fatalf("single point = %q, want ▅", got)
+	}
+	if got := Sparkline([]float64{1, math.NaN(), 2}); got != "▁ █" {
+		t.Fatalf("NaN gap = %q, want ▁ █", got)
+	}
+	if got := Sparkline([]float64{math.NaN(), math.NaN()}); got != "  " {
+		t.Fatalf("all-NaN = %q, want two spaces", got)
+	}
+}

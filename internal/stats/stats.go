@@ -188,7 +188,10 @@ func (t *Table) GmeanOver(column string, labels []string) float64 {
 type TextTable struct {
 	Title   string
 	Columns []string
-	rows    []textRow
+	// Label heads the row-label column; "" renders the historical
+	// default "design".
+	Label string
+	rows  []textRow
 }
 
 type textRow struct {
@@ -238,7 +241,11 @@ func (t *TextTable) String() string {
 	if t.Title != "" {
 		fmt.Fprintf(&b, "%s\n", t.Title)
 	}
-	labelW := len("design")
+	head := t.Label
+	if head == "" {
+		head = "design"
+	}
+	labelW := len(head)
 	for _, r := range t.rows {
 		if len(r.label) > labelW {
 			labelW = len(r.label)
@@ -257,7 +264,7 @@ func (t *TextTable) String() string {
 			}
 		}
 	}
-	fmt.Fprintf(&b, "%-*s", labelW+2, "design")
+	fmt.Fprintf(&b, "%-*s", labelW+2, head)
 	for _, c := range t.Columns {
 		fmt.Fprintf(&b, "%*s", colW, c)
 	}
