@@ -186,6 +186,22 @@ func BenchmarkTracedRun(b *testing.B) {
 	}
 }
 
+// BenchmarkTracedRunFast is BenchmarkTracedRun at sim.TierFast: the
+// same cell under the ε-bounded batched engine (DESIGN.md §16). The
+// ratio to BenchmarkTracedRun is the fast tier's headline speedup.
+func BenchmarkTracedRunFast(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Tier = sim.TierFast
+		res, err := expt.Run(expt.KindWL, expt.Options{}, "sha", 1, power.Trace1, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Instructions)*float64(b.N)/b.Elapsed().Seconds(), "sim-instrs/sec")
+	}
+}
+
 // BenchmarkTracedRunObs is BenchmarkTracedRun with the observability
 // recorder attached: the gap to BenchmarkTracedRun is the obs tax.
 func BenchmarkTracedRunObs(b *testing.B) {

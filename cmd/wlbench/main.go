@@ -124,9 +124,14 @@ func run(args []string, stdout io.Writer) error {
 		serveChild = fs.Bool("serve-child", false, "internal: act as the wlserve server (chaos harness child)")
 		addr       = fs.String("addr", "127.0.0.1:0", "with -serve-child: listen address")
 		dataDir    = fs.String("data", "", "with -chaos -serve: sweep-journal data directory (default: a temp dir)")
+		tierFlag   = fs.String("tier", "exact", "engine fidelity: exact (bit-exact) or fast (ε-bounded batched engine, DESIGN.md §16)")
 		version    = fs.Bool("version", false, "print engine version and build info, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tier, err := sim.ParseTier(*tierFlag)
+	if err != nil {
 		return err
 	}
 	if *version {
@@ -147,13 +152,18 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if *chaos && *serveMode {
-			return runChaosServe(*seed, *dataDir, *golden, wls, srcs, *serveBin, stdout)
-		}
 		if *chaos {
+			// The chaos gates prove bit-identical crash stitching; a
+			// tolerance-bounded tier has no bit-identity to prove.
+			if tier != sim.TierExact {
+				return fmt.Errorf("-chaos requires the exact tier")
+			}
+			if *serveMode {
+				return runChaosServe(*seed, *dataDir, *golden, wls, srcs, *serveBin, stdout)
+			}
 			return runChaos(*seed, *journal, *golden, wls, srcs, *parallel, stdout)
 		}
-		return runSweep(*journal, *golden, wls, srcs, *parallel, *killAfter, stdout)
+		return runSweep(tier, *journal, *golden, wls, srcs, *parallel, *killAfter, stdout)
 	}
 
 	if *jsonOut != "" || *compare != "" {
@@ -161,7 +171,7 @@ func run(args []string, stdout io.Writer) error {
 		if *workloads != "" {
 			wls = strings.Split(*workloads, ",")
 		}
-		return runJSONBench(*jsonOut, *compare, wls, *scale, stdout)
+		return runJSONBench(tier, *jsonOut, *compare, wls, *scale, stdout)
 	}
 
 	if *list || *experiment == "" {
@@ -176,7 +186,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	ctx := expt.Context{Scale: *scale, Parallelism: *parallel, CheckInvariants: *check}
+	ctx := expt.Context{Scale: *scale, Parallelism: *parallel, CheckInvariants: *check, Tier: tier}
 	if *workloads != "" {
 		ctx.Workloads = strings.Split(*workloads, ",")
 	}
@@ -243,8 +253,8 @@ func parseTraces(s string) ([]power.Source, error) {
 // SIGKILLs itself after the N-th journal append — from inside the
 // append lock, so exactly N records are durable — which is how the
 // chaos harness produces a crash with a precisely known footprint.
-func runSweep(journal, goldenPath string, wls []string, srcs []power.Source, parallel, killAfter int, stdout io.Writer) error {
-	ctx := expt.Context{Parallelism: parallel, Journal: journal}
+func runSweep(tier sim.Tier, journal, goldenPath string, wls []string, srcs []power.Source, parallel, killAfter int, stdout io.Writer) error {
+	ctx := expt.Context{Parallelism: parallel, Journal: journal, Tier: tier}
 	if killAfter > 0 {
 		ctx.AfterJournal = func(done int) {
 			if done == killAfter {
@@ -271,7 +281,7 @@ func runSweep(journal, goldenPath string, wls []string, srcs []power.Source, par
 	fmt.Fprintf(stdout, "sweep: %d cells (%d infeasible), %d served from journal, %d computed\n",
 		len(cells), infeasible, m.FromJournal, m.Computed)
 	if goldenPath != "" {
-		if err := checkSweepGolden(cells, goldenPath, len(wls) > 0 || len(srcs) > 0); err != nil {
+		if err := checkSweepGolden(tier, cells, goldenPath, len(wls) > 0 || len(srcs) > 0); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "golden check passed: %d cells match %s\n", len(cells), goldenPath)
@@ -280,11 +290,20 @@ func runSweep(journal, goldenPath string, wls []string, srcs []power.Source, par
 }
 
 // checkSweepGolden compares sweep cells against a committed golden
-// matrix; subset permits a restricted sweep to cover fewer cells.
-func checkSweepGolden(cells []expt.GoldenCell, goldenPath string, subset bool) error {
+// matrix; subset permits a restricted sweep to cover fewer cells. The
+// golden is always generated by the exact tier: exact sweeps must match
+// it bit-identically, fast sweeps within the committed FastTolerance
+// (counts still exact).
+func checkSweepGolden(tier sim.Tier, cells []expt.GoldenCell, goldenPath string, subset bool) error {
 	committed, err := expt.LoadGoldenFile(goldenPath)
 	if err != nil {
 		return err
+	}
+	if tier == sim.TierFast {
+		if err := expt.CompareGoldenCellsTol(cells, committed, subset, expt.FastTolerance()); err != nil {
+			return fmt.Errorf("%w: %w", errMismatch, err)
+		}
+		return nil
 	}
 	if err := expt.CompareGoldenCells(cells, committed, subset); err != nil {
 		return fmt.Errorf("%w: %w", errMismatch, err)
@@ -365,7 +384,7 @@ func runChaos(seed int64, journal, goldenPath string, wls []string, srcs []power
 			m.FromJournal, m.Computed, m.OptionalFailed, total)
 	}
 	if goldenPath != "" {
-		if err := checkSweepGolden(cells, goldenPath, len(wls) > 0 || len(srcs) > 0); err != nil {
+		if err := checkSweepGolden(sim.TierExact, cells, goldenPath, len(wls) > 0 || len(srcs) > 0); err != nil {
 			return chaosFail("stitched results diverged: %v", err)
 		}
 	}
@@ -705,10 +724,14 @@ type benchResult struct {
 // benchFile is the -json document. Host self-describes the machine and
 // binary that produced the numbers so run-history entries are
 // comparable-or-explicitly-not; old documents without it still ingest
-// (as host "unknown").
+// (as host "unknown"). Tier records the engine fidelity that produced
+// the numbers (empty = exact, the pre-tier format): fast-tier documents
+// form their own comparability series and are never gated against
+// exact baselines.
 type benchFile struct {
 	Schema  string         `json:"schema"`
 	Host    *hostinfo.Info `json:"host,omitempty"`
+	Tier    string         `json:"tier,omitempty"`
 	Results []benchResult  `json:"results"`
 }
 
@@ -718,13 +741,18 @@ type benchFile struct {
 // the committed golden document (host timings are machine-dependent and
 // ignored); any divergence is an error, which is what lets CI catch an
 // optimization that changed simulation results.
-func runJSONBench(path, goldenPath string, wls []string, scale int, stdout io.Writer) error {
+func runJSONBench(tier sim.Tier, path, goldenPath string, wls []string, scale int, stdout io.Writer) error {
 	host := hostinfo.Collect()
 	doc := benchFile{Schema: benchSchema, Host: &host}
+	if tier != sim.TierExact {
+		doc.Tier = tier.String()
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Tier = tier
 	for _, kind := range expt.FigureKinds() {
 		for _, wl := range wls {
 			start := time.Now()
-			res, err := expt.Run(kind, expt.Options{}, strings.TrimSpace(wl), scale, power.Trace1, sim.DefaultConfig())
+			res, err := expt.Run(kind, expt.Options{}, strings.TrimSpace(wl), scale, power.Trace1, cfg)
 			if err != nil {
 				return fmt.Errorf("bench %s/%s: %w", kind, wl, err)
 			}
@@ -781,7 +809,10 @@ func runJSONBench(path, goldenPath string, wls []string, scale int, stdout io.Wr
 // compareGolden checks every simulated (machine-independent) outcome of
 // doc against the golden document: checksum, simulated execution time,
 // instruction/outage/stall/write-back counts and dirty-line stats. Host
-// timings differ per machine and are not compared.
+// timings differ per machine and are not compared. When either side was
+// produced by the fast tier, sim_exec_ps is compared within the
+// committed time tolerance (counts stay exact — the fast tier's
+// contract).
 func compareGolden(doc benchFile, goldenPath string) error {
 	raw, err := os.ReadFile(goldenPath)
 	if err != nil {
@@ -816,7 +847,14 @@ func compareGolden(doc benchFile, goldenPath string) error {
 			}
 		}
 		check("checksum", r.Checksum, g.Checksum)
-		check("sim_exec_ps", r.ExecPS, g.ExecPS)
+		if doc.Tier == "fast" || golden.Tier == "fast" {
+			tol := expt.FastTolerance()
+			if !tol.WithinTime(float64(r.ExecPS), float64(g.ExecPS)) {
+				mismatches = append(mismatches, fmt.Sprintf("%s: sim_exec_ps = %v, golden %v (outside fast-tier time tolerance)", key, r.ExecPS, g.ExecPS))
+			}
+		} else {
+			check("sim_exec_ps", r.ExecPS, g.ExecPS)
+		}
 		check("instructions", r.Instructions, g.Instructions)
 		check("outages", r.Outages, g.Outages)
 		check("stalls", r.Stalls, g.Stalls)

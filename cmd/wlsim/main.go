@@ -40,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		scale   = fs.Int("scale", 1, "input-size multiplier")
 		maxline = fs.Int("maxline", 0, "override WL-Cache maxline (0 = default 6)")
 		check   = fs.Bool("check", true, "verify crash-consistency invariants")
+		tier    = fs.String("tier", "exact", "engine fidelity: exact (bit-exact) or fast (ε-bounded batched engine, DESIGN.md §16)")
 		asJSON  = fs.Bool("json", false, "emit the result as JSON")
 		list    = fs.Bool("list", false, "list benchmarks and exit")
 		version = fs.Bool("version", false, "print engine version and build info, then exit")
@@ -62,6 +63,11 @@ func run(args []string, stdout io.Writer) error {
 
 	cfg := sim.DefaultConfig()
 	cfg.CheckInvariants = *check
+	t, err := sim.ParseTier(*tier)
+	if err != nil {
+		return err
+	}
+	cfg.Tier = t
 	opts := expt.Options{Maxline: *maxline}
 	res, err := expt.Run(expt.Kind(*design), opts, *wl, *scale, power.Source(*trace), cfg)
 	if err != nil {

@@ -24,6 +24,11 @@ type Context struct {
 	Parallelism int
 	// CheckInvariants enables the expensive correctness checking.
 	CheckInvariants bool
+	// Tier selects the engine fidelity for every cell of the sweep
+	// (sim.TierExact default). Fast-tier cells fingerprint differently
+	// from exact cells, so the two can never alias in journals, the
+	// serve store, or recorded histories.
+	Tier sim.Tier
 
 	// Ctx cancels the sweep (nil = context.Background()). Cells not
 	// yet started when it fires are reported as deterministic skips.
@@ -60,6 +65,7 @@ func (c Context) normalize() Context {
 func (c Context) simConfig() sim.Config {
 	cfg := sim.DefaultConfig()
 	cfg.CheckInvariants = c.CheckInvariants
+	cfg.Tier = c.Tier
 	return cfg
 }
 
@@ -198,6 +204,13 @@ func cellFingerprint(kind Kind, opts Options, wl string, scale int, src power.So
 			ic.WarmAcrossOutage, ic.LineFillTime, math.Float64bits(ic.LineFillEnergy))
 	} else {
 		fp += " icache=nil"
+	}
+	// The tier changes the result under its own contract, so it is part
+	// of the identity — but only appended for non-exact tiers, keeping
+	// every pre-tier fingerprint (and thus every existing journal and
+	// golden address) unchanged.
+	if cfg.Tier != sim.TierExact {
+		fp += " tier=" + cfg.Tier.String()
 	}
 	return fp
 }

@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"reflect"
+	"strconv"
 	"strings"
 
 	"wlcache/internal/power"
@@ -137,6 +138,167 @@ func LoadGoldenFile(path string) ([]GoldenCell, error) {
 		return nil, fmt.Errorf("golden %s: %w", path, err)
 	}
 	return cells, nil
+}
+
+// Tolerance is the fast tier's committed accuracy contract against the
+// bit-exact golden (DESIGN.md §16). Fields fall into three classes:
+//
+//   - counts and identities (instructions, loads/stores, outages,
+//     write-backs, checkpoint lines, NVM traffic, checksums, adaptive
+//     settings): exactly equal, always — the fast tier decides every
+//     event and every outage boundary at the same granularity as the
+//     exact tier, so these may not drift at all;
+//   - energies (Energy.*, ReserveWasted): ε-equal — batched settlement
+//     reorders floating-point summation, perturbing sums at relative
+//     ~1e-15 per operation;
+//   - phase times (ExecTime, OnTime, CheckpointTime, OffTime,
+//     RestoreTime, Extra.StallTime): ε-equal — recharge durations
+//     derive from ε-perturbed energies and round to integer ps, so
+//     each outage can shift absolute time by ~1 ps.
+type Tolerance struct {
+	// EnergyRel/EnergyAbs bound energy drift (joules): a field passes
+	// when |got-want| <= max(EnergyAbs, EnergyRel*max(|got|,|want|)).
+	EnergyRel float64
+	EnergyAbs float64
+	// TimeRel/TimeAbsPS bound time drift (picoseconds) the same way.
+	TimeRel   float64
+	TimeAbsPS float64
+}
+
+// FastTolerance is the committed fast-tier contract: energies within
+// 1e-9 relative, times within 1e-6 relative (floored at 10 ns — ~1 ps
+// per outage of recharge rounding on short runs). Measured drift on the
+// 78-cell golden is orders of magnitude below both bounds; the slack
+// keeps the gate stable across compilers and FMA-contraction choices
+// without ever admitting a physically meaningful difference.
+func FastTolerance() Tolerance {
+	return Tolerance{EnergyRel: 1e-9, EnergyAbs: 1e-18, TimeRel: 1e-6, TimeAbsPS: 10_000}
+}
+
+// goldenFieldClass classifies a flattened Result field for tolerant
+// comparison.
+type goldenFieldClass int
+
+const (
+	classExact goldenFieldClass = iota
+	classEnergy
+	classTime
+)
+
+func fieldClass(name string) goldenFieldClass {
+	switch {
+	case name == "ReserveWasted" || strings.HasPrefix(name, "Energy."):
+		return classEnergy
+	case name == "ExecTime" || name == "OnTime" || name == "CheckpointTime" ||
+		name == "OffTime" || name == "RestoreTime" || name == "Extra.StallTime":
+		return classTime
+	}
+	return classExact
+}
+
+// parseGoldenFloat decodes FlattenResult's %#016x IEEE-754 rendering.
+func parseGoldenFloat(s string) (float64, bool) {
+	hexDigits, ok := strings.CutPrefix(s, "0x")
+	if !ok {
+		return 0, false
+	}
+	bits, err := strconv.ParseUint(hexDigits, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return math.Float64frombits(bits), true
+}
+
+func withinTol(got, want, rel, abs float64) bool {
+	d := math.Abs(got - want)
+	bound := rel * math.Max(math.Abs(got), math.Abs(want))
+	if bound < abs {
+		bound = abs
+	}
+	return d <= bound
+}
+
+// WithinEnergy reports whether two energies (joules) agree within the
+// tolerance's energy bound.
+func (t Tolerance) WithinEnergy(got, want float64) bool {
+	return withinTol(got, want, t.EnergyRel, t.EnergyAbs)
+}
+
+// WithinTime reports whether two durations (picoseconds) agree within
+// the tolerance's time bound.
+func (t Tolerance) WithinTime(got, want float64) bool {
+	return withinTol(got, want, t.TimeRel, t.TimeAbsPS)
+}
+
+// CompareGoldenCellsTol verifies got against the committed bit-exact
+// matrix under the fast tier's contract: every count field must match
+// exactly; energy and time fields must agree within tol. Cell coverage
+// and error strings follow CompareGoldenCells semantics.
+func CompareGoldenCellsTol(got, committed []GoldenCell, subset bool, tol Tolerance) error {
+	want := make(map[string]GoldenCell, len(committed))
+	for _, c := range committed {
+		want[c.ID()] = c
+	}
+	var diffs []string
+	for _, g := range got {
+		w, ok := want[g.ID()]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: produced but not pinned by the golden (extra cell)", g.ID()))
+			continue
+		}
+		delete(want, g.ID())
+		if w.Err != g.Err {
+			diffs = append(diffs, fmt.Sprintf("%s: error drift: committed %q, got %q", g.ID(), w.Err, g.Err))
+			continue
+		}
+		for field, wv := range w.Fields {
+			gv, ok := g.Fields[field]
+			if !ok {
+				diffs = append(diffs, fmt.Sprintf("%s: field %s missing from current result", g.ID(), field))
+				continue
+			}
+			if gv == wv {
+				continue
+			}
+			switch fieldClass(field) {
+			case classEnergy:
+				gf, ok1 := parseGoldenFloat(gv)
+				wf, ok2 := parseGoldenFloat(wv)
+				if !ok1 || !ok2 || !withinTol(gf, wf, tol.EnergyRel, tol.EnergyAbs) {
+					diffs = append(diffs, fmt.Sprintf("%s: %s outside energy tolerance: committed %s (%g), got %s (%g)",
+						g.ID(), field, wv, wf, gv, gf))
+				}
+			case classTime:
+				var gt, wt int64
+				_, err1 := fmt.Sscanf(gv, "%d", &gt)
+				_, err2 := fmt.Sscanf(wv, "%d", &wt)
+				if err1 != nil || err2 != nil || !withinTol(float64(gt), float64(wt), tol.TimeRel, tol.TimeAbsPS) {
+					diffs = append(diffs, fmt.Sprintf("%s: %s outside time tolerance: committed %s, got %s",
+						g.ID(), field, wv, gv))
+				}
+			default:
+				diffs = append(diffs, fmt.Sprintf("%s: count field %s must be exact: committed %s, got %s",
+					g.ID(), field, wv, gv))
+			}
+		}
+		for field := range g.Fields {
+			if _, ok := w.Fields[field]; !ok {
+				diffs = append(diffs, fmt.Sprintf("%s: new field %s not in committed golden", g.ID(), field))
+			}
+		}
+	}
+	if !subset {
+		for id := range want {
+			diffs = append(diffs, fmt.Sprintf("%s: pinned by the golden but not produced", id))
+		}
+	}
+	if len(diffs) > 0 {
+		if len(diffs) > 20 {
+			diffs = append(diffs[:20], fmt.Sprintf("... and %d more", len(diffs)-20))
+		}
+		return fmt.Errorf("golden divergence (fast-tier tolerance):\n  %s", strings.Join(diffs, "\n  "))
+	}
+	return nil
 }
 
 // CompareGoldenCells verifies got against the committed matrix,

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"wlcache/internal/sim"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_results.json from the current engine")
@@ -57,6 +59,33 @@ func TestGoldenResults(t *testing.T) {
 		}
 	}
 	if err := CompareGoldenCells(got, want, false); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGoldenResultsFastTier proves the fast tier's accuracy contract
+// against the same committed bit-exact golden: the full pinned matrix
+// run at sim.TierFast must reproduce every count field (instructions,
+// outages, write-backs, checkpoint lines, traffic, checksums) exactly,
+// and every energy/time field within the committed FastTolerance. The
+// golden file is never regenerated from the fast tier — the exact
+// engine stays the single source of truth.
+func TestGoldenResultsFastTier(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden file is generated from the exact tier only")
+	}
+	got, _, err := RunGoldenMatrix(Context{Tier: sim.TierFast}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := LoadGoldenFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden: %v (generate with -update)", err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden: matrix size changed: committed %d cells, ran %d", len(want), len(got))
+	}
+	if err := CompareGoldenCellsTol(got, want, false, FastTolerance()); err != nil {
 		t.Error(err)
 	}
 }

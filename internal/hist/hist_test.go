@@ -409,6 +409,52 @@ func TestIngestBenchWithoutHost(t *testing.T) {
 	}
 }
 
+func TestIngestBenchTierPrefix(t *testing.T) {
+	// A fast-tier report's metrics are namespaced under "fast." so
+	// they can never gate against (or be gated by) the exact-tier
+	// series of the same cells; exact reports keep historical names.
+	doc := `{"schema":"wlbench/v1","tier":"fast","results":[{"design":"wl","workload":"sha","trace":"tr1","ns_per_op":16.7,"checksum":1}]}`
+	entries, err := Ingest([]byte(doc), "fast.json", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := entries[0].Metrics["fast.cell.wl.sha.tr1.checksum"]; !ok {
+		t.Fatalf("fast-tier metric not prefixed: %v", keysOf(entries[0].Metrics))
+	}
+	if _, ok := entries[0].Metrics["cell.wl.sha.tr1.checksum"]; ok {
+		t.Fatal("fast-tier report leaked into the exact-tier namespace")
+	}
+	for _, tier := range []string{"", "exact"} {
+		doc := `{"schema":"wlbench/v1","tier":"` + tier + `","results":[{"design":"wl","workload":"sha","trace":"tr1","checksum":1}]}`
+		entries, err := Ingest([]byte(doc), "exact.json", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := entries[0].Metrics["cell.wl.sha.tr1.checksum"]; !ok {
+			t.Fatalf("tier %q: exact-tier metric renamed: %v", tier, keysOf(entries[0].Metrics))
+		}
+	}
+	// The PR-style before/after report namespaces the same way.
+	pr := `{"schema":"wlbench-pr/v1","tier":"fast","host":"h","benchmarks":[],"end_to_end":{"seed_wall_s":100,"optimized_wall_s":50}}`
+	prEntries, err := Ingest([]byte(pr), "pr.json", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range prEntries {
+		if _, ok := e.Metrics["fast.e2e.wall_s"]; !ok {
+			t.Fatalf("%s: fast e2e metric not prefixed: %v", e.Source.Name, keysOf(e.Metrics))
+		}
+	}
+}
+
+func keysOf(m map[string]Metric) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
 func TestIngestLoad(t *testing.T) {
 	doc := `{"schema":"wlload/v1","target":"x","clients":4,"phases":2,"requests_per_phase":8,"dur_ms":100,
 	  "submitted":16,"completed":16,"shed":1,"http_5xx":0,"failed":0,

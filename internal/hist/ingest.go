@@ -112,12 +112,26 @@ func Sniff(raw []byte) (string, error) {
 	return "", fmt.Errorf("sniff: unrecognized document")
 }
 
+// tierPrefix namespaces metrics from a non-exact engine tier:
+// "fast.cell...." series never share a name with the bit-exact
+// "cell...." baselines, so a fast-tier report can never gate (or be
+// gated) against exact history — the two tiers are separate
+// comparability series by construction. Exact reports (tier "" or
+// "exact") keep their historical names.
+func tierPrefix(tier string) string {
+	if tier == "" || tier == "exact" {
+		return ""
+	}
+	return tier + "."
+}
+
 // --- wlbench/v1 -----------------------------------------------------
 
 // benchDoc mirrors cmd/wlbench's -json output.
 type benchDoc struct {
 	Schema  string         `json:"schema"`
 	Host    *hostinfo.Info `json:"host"`
+	Tier    string         `json:"tier"`
 	Results []struct {
 		Design   string  `json:"design"`
 		Workload string  `json:"workload"`
@@ -152,7 +166,7 @@ func ingestBench(raw []byte, name string) ([]Entry, error) {
 	}
 	metrics := make(map[string]Metric)
 	for _, r := range doc.Results {
-		p := fmt.Sprintf("cell.%s.%s.%s.", r.Design, r.Workload, r.Trace)
+		p := fmt.Sprintf("%scell.%s.%s.%s.", tierPrefix(doc.Tier), r.Design, r.Workload, r.Trace)
 		// Simulated outcomes: deterministic, host-independent.
 		metrics[p+"checksum"] = Metric{Value: float64(r.Checksum), Kind: KindExact}
 		metrics[p+"instructions"] = Metric{Value: float64(r.Instrs), Kind: KindExact}
@@ -186,6 +200,7 @@ func ingestBench(raw []byte, name string) ([]Entry, error) {
 type benchPRDoc struct {
 	Schema     string `json:"schema"`
 	Host       string `json:"host"`
+	Tier       string `json:"tier"`
 	Benchmarks []struct {
 		Name      string   `json:"name"`
 		Unit      string   `json:"unit"`
@@ -208,25 +223,26 @@ func ingestBenchPR(raw []byte, name string) ([]Entry, error) {
 		host = Unknown
 	}
 	key := Key{Engine: Unknown, Host: host}
+	tp := tierPrefix(doc.Tier)
 	seed := Entry{
 		Source: Source{Format: "wlbench-pr/v1", Name: name + "#seed"},
 		Key:    key,
 		Metrics: map[string]Metric{
-			"e2e.wall_s": {Value: doc.EndToEnd.SeedWallS, Unit: "s", Dir: "lower", Kind: KindPerf},
+			tp + "e2e.wall_s": {Value: doc.EndToEnd.SeedWallS, Unit: "s", Dir: "lower", Kind: KindPerf},
 		},
 	}
 	opt := Entry{
 		Source: Source{Format: "wlbench-pr/v1", Name: name + "#optimized"},
 		Key:    key,
 		Metrics: map[string]Metric{
-			"e2e.wall_s": {Value: doc.EndToEnd.OptimizedWallS, Unit: "s", Dir: "lower", Kind: KindPerf},
+			tp + "e2e.wall_s": {Value: doc.EndToEnd.OptimizedWallS, Unit: "s", Dir: "lower", Kind: KindPerf},
 		},
 	}
 	for _, b := range doc.Benchmarks {
 		n := strings.TrimPrefix(b.Name, "Benchmark")
-		opt.Metrics["bench."+n] = Metric{Value: b.Optimized, Unit: b.Unit, Dir: "lower", Kind: KindInfo}
+		opt.Metrics[tp+"bench."+n] = Metric{Value: b.Optimized, Unit: b.Unit, Dir: "lower", Kind: KindInfo}
 		if b.Seed != nil {
-			seed.Metrics["bench."+n] = Metric{Value: *b.Seed, Unit: b.Unit, Dir: "lower", Kind: KindInfo}
+			seed.Metrics[tp+"bench."+n] = Metric{Value: *b.Seed, Unit: b.Unit, Dir: "lower", Kind: KindInfo}
 		}
 	}
 	return []Entry{seed, opt}, nil

@@ -106,12 +106,20 @@ func (t *Trace) Integrate(from, to int64) float64 {
 	if to <= from || len(t.Samples) == 0 {
 		return 0
 	}
+	const psPerSec = 1e12
 	i0 := from / t.Step
+	if to <= (i0+1)*t.Step {
+		// Single-segment window — the per-event common case. This is
+		// integrateSeq's only iteration inlined (same expression, so
+		// bit-identical), reached with one division and no dispatch on
+		// the index: the i1 division below, which the indexed dispatch
+		// added for every caller, only runs for multi-segment windows.
+		return t.Samples[i0%int64(len(t.Samples))] * float64(to-from) / psPerSec
+	}
 	i1 := (to - 1) / t.Step
 	if i1-i0 <= 1 || !t.indexed() {
 		return t.integrateSeq(from, to)
 	}
-	const psPerSec = 1e12
 	n := int64(len(t.Samples))
 	e := t.Samples[i0%n] * float64((i0+1)*t.Step-from) / psPerSec
 	e += t.segSum(i1) - t.segSum(i0+1)

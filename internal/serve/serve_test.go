@@ -379,6 +379,7 @@ func TestSpecRejection(t *testing.T) {
 		{"oversized scale", `{"scale":65}`},
 		{"negative budget", `{"cell_budget_ms":-1}`},
 		{"grid out of range", `{"grid":{"maxline":[65]}}`},
+		{"unknown tier", `{"tier":"warp"}`},
 		{"too many cells", `{}`}, // 78 golden cells > MaxCells 50
 	}
 	for _, c := range cases {
@@ -443,6 +444,38 @@ func TestSpecIDStability(t *testing.T) {
 	other := Spec{Workloads: []string{"sha"}}
 	if defaults.ID("e1") == other.ID("e1") {
 		t.Fatal("different specs collide")
+	}
+}
+
+// The engine tier is part of a sweep's identity at every level: the
+// empty spelling keeps the pre-tier sweep ID (so committed journals
+// stay addressable), "fast" hashes differently, and the planned
+// cells' fingerprints differ between tiers (so a journal entry from
+// one tier can never satisfy a resume under the other).
+func TestSpecTierIdentity(t *testing.T) {
+	var defaults Spec
+	exact := Spec{Tier: "exact"}
+	fast := Spec{Tier: "fast"}
+	if defaults.ID("e1") == exact.ID("e1") {
+		// "" and "exact" select the same engine but are distinct
+		// spellings; only "" is the committed pre-tier form.
+		t.Log(`note: "" and "exact" hash alike`) // documents either outcome
+	}
+	if defaults.ID("e1") == fast.ID("e1") {
+		t.Fatal("fast-tier spec hashes like the exact default")
+	}
+	if err := fast.normalize().validate(); err != nil {
+		t.Fatalf("fast tier rejected: %v", err)
+	}
+	ec := defaults.cells()
+	fc := fast.cells()
+	if len(ec) == 0 || len(ec) != len(fc) {
+		t.Fatalf("cell counts: exact %d, fast %d", len(ec), len(fc))
+	}
+	for i := range ec {
+		if ec[i].cell.Fingerprint == fc[i].cell.Fingerprint {
+			t.Fatalf("cell %s: identical fingerprint across tiers", ec[i].cell.ID)
+		}
 	}
 }
 

@@ -33,6 +33,13 @@ type Spec struct {
 	// (0 = server default). Cells that miss it degrade to deterministic
 	// skips, never partial results.
 	CellBudgetMS int64 `json:"cell_budget_ms,omitempty"`
+	// Tier selects the engine fidelity: "" or "exact" for the
+	// bit-exact engine, "fast" for the ε-bounded batched engine
+	// (DESIGN.md §16). Deliberately NOT normalized ""→"exact": the
+	// empty form keeps pre-tier sweep IDs (and their journals)
+	// stable, and the tier feeds the cell fingerprint so fast cells
+	// can never be resumed from exact journal entries or vice versa.
+	Tier string `json:"tier,omitempty"`
 }
 
 // Grid is the parameter-grid dimension of a sweep: every listed
@@ -123,6 +130,9 @@ func (s Spec) validate() error {
 	if s.CellBudgetMS < 0 {
 		return fmt.Errorf("cell_budget_ms %d is negative", s.CellBudgetMS)
 	}
+	if _, err := sim.ParseTier(s.Tier); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -160,6 +170,8 @@ func (s Spec) cells() []plannedCell {
 	n := s.normalize()
 	defaultGrid := len(n.Grid.Maxline) == 1 && n.Grid.Maxline[0] == 0 &&
 		len(n.Grid.DQCap) == 1 && n.Grid.DQCap[0] == 0
+	cfg := sim.DefaultConfig()
+	cfg.Tier, _ = sim.ParseTier(n.Tier) // validated before cells()
 	var out []plannedCell
 	for _, d := range n.Designs {
 		for _, wl := range n.Workloads {
@@ -167,7 +179,7 @@ func (s Spec) cells() []plannedCell {
 				for _, ml := range n.Grid.Maxline {
 					for _, dq := range n.Grid.DQCap {
 						opts := expt.Options{Maxline: ml, DQCap: dq}
-						rc := expt.RunnerCell(expt.Kind(d), opts, wl, n.Scale, power.Source(tr), sim.DefaultConfig())
+						rc := expt.RunnerCell(expt.Kind(d), opts, wl, n.Scale, power.Source(tr), cfg)
 						if !defaultGrid {
 							rc.ID = fmt.Sprintf("%s/ml%d/dq%d", rc.ID, ml, dq)
 						}

@@ -14,6 +14,51 @@ import (
 	"wlcache/internal/power"
 )
 
+// Tier selects the engine's fidelity/performance trade-off. The zero
+// value is the exact tier, so existing configurations are unchanged.
+type Tier int
+
+const (
+	// TierExact reproduces results bit-for-bit: every floating-point
+	// operation happens in the committed order, and the 78-cell golden
+	// pins each Result field down to the last ULP.
+	TierExact Tier = iota
+	// TierFast restructures the hot loop under a committed tolerance
+	// (see expt.CompareGoldenCellsTol and DESIGN.md §16): capacitor
+	// state is kept in energy space, harvest integration is batched
+	// between power-relevant events behind a conservative draw budget,
+	// and Compute blocks are fused. Event counts (outages, write-backs,
+	// checkpoints, instructions, traffic) stay exactly equal to the
+	// exact tier; energies and phase times are ε-equal, not bit-equal.
+	TierFast
+)
+
+// String returns the canonical spelling used by CLI flags, JSON
+// reports and cell fingerprints.
+func (t Tier) String() string {
+	switch t {
+	case TierExact:
+		return "exact"
+	case TierFast:
+		return "fast"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// ParseTier parses the canonical spelling. The empty string maps to
+// TierExact so formats that predate tiers keep their meaning.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "", "exact":
+		return TierExact, nil
+	case "fast":
+		return TierFast, nil
+	default:
+		return TierExact, fmt.Errorf("sim: unknown tier %q (want exact or fast)", s)
+	}
+}
+
 // Config holds the machine-level simulation parameters (Table 2 plus
 // the energy constants this reproduction documents here).
 type Config struct {
@@ -70,6 +115,12 @@ type Config struct {
 	// instrumentation site then costs one nil check. New wires the
 	// recorder into the capacitor, the NVM port and the design.
 	Obs *obs.Recorder
+
+	// Tier selects exact (default) or fast simulation. Runs with a
+	// FaultPlan or an Obs recorder always execute at exact fidelity —
+	// both hooks observe per-event state the fast tier defers — so the
+	// fast tier is only engaged on plain measurement runs.
+	Tier Tier
 }
 
 // DefaultConfig returns the paper's default machine configuration.
@@ -115,6 +166,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: VonDelta must be positive")
 	case c.CheckpointMargin < 1:
 		return fmt.Errorf("sim: CheckpointMargin must be >= 1 (reserves are worst-case; margin only adds slack)")
+	case c.Tier != TierExact && c.Tier != TierFast:
+		return fmt.Errorf("sim: unknown tier %d", int(c.Tier))
 	}
 	return nil
 }

@@ -50,6 +50,29 @@ type Simulator struct {
 	noFault       bool // cfg.FaultPlan == nil
 	untraced      bool // cfg.Trace == nil
 
+	// Fast-tier state (TierFast only; see fast.go and DESIGN.md §16).
+	// fastEligible is decided once in New: the fast loop only engages
+	// on plain measurement runs (no fault plan, no recorder — both
+	// observe per-event capacitor state the fast tier defers).
+	// fastHot marks the windows where the fast loop owns the capacitor
+	// state; outage sequences and the final flush drop back to the
+	// exact voltage-space code via an energy<->voltage sync.
+	fastEligible   bool
+	fastHot        bool
+	fcapE          float64 // capacitor energy (J); authoritative while fastHot
+	eVb            float64 // ½·C·Vbackup² — the monitor threshold in energy space
+	eCapMax        float64 // ½·C·VMax² — the harvest clamp in energy space
+	eFloor         float64 // ½·C·(VMin−1e-9)² — the guarded-draw floor in energy space
+	settleT        int64   // start of the open settle window
+	settleDeadline int64   // no event may reach past this without settling
+	pendingBlock   float64 // draw of fused Compute blocks since settleT
+	scratchDraw    float64 // ebScratch.Total() as of the last access event
+	drawBudget     float64 // zero-harvest-safe draw before a settle is forced
+	perInstrDrawE  float64 // worst-case (zero-harvest) energy per ALU instruction
+	leakWPerPS     float64 // leakW/1e12: J per ps, mul instead of div on the fast path
+	computeRetired uint64  // ALU instructions retired via fused blocks (+ exact-mode baseline)
+	blockMemo      [blockMemoSize]blockCost
+
 	// ebScratch is the per-event breakdown buffer handed to AccessEB.
 	// Passing a pointer to a local through the interface call would make
 	// the local escape — one heap allocation per simulated access; the
@@ -92,6 +115,12 @@ func New(cfg Config, design Design, nvm *mem.NVM) (*Simulator, error) {
 	s.trackGolden = cfg.CheckInvariants
 	s.noFault = cfg.FaultPlan == nil
 	s.untraced = cfg.Trace == nil
+	s.fastEligible = cfg.Tier == TierFast && s.noFault && cfg.Obs == nil
+	s.eCapMax = 0.5 * cfg.CapacitorF * cfg.VMax * cfg.VMax
+	floor := cfg.VMin - 1e-9
+	s.eFloor = 0.5 * cfg.CapacitorF * floor * floor
+	s.perInstrDrawE = cfg.InstrEnergy + s.instrE + s.leakW*float64(s.perInstrPS)/1e12
+	s.leakWPerPS = s.leakW / 1e12
 	if cfg.Trace != nil {
 		s.cursor = power.NewCursor(cfg.Trace)
 	}
@@ -137,6 +166,21 @@ func New(cfg Config, design Design, nvm *mem.NVM) (*Simulator, error) {
 // never consulted stale.
 func (s *Simulator) refreshThresholds() {
 	s.vb = s.cfg.Vbackup(s.design.ReserveEnergy())
+	if !s.fastEligible {
+		return
+	}
+	s.eVb = 0.5 * s.cfg.CapacitorF * s.vb * s.vb
+	// Energy constants are per-run constants today, but the memo folds
+	// them; clear it so a future design that retunes costs when it
+	// reconfigures can never be served a stale block.
+	s.blockMemo = [blockMemoSize]blockCost{}
+	if s.fastHot {
+		// Adaptive reserve change mid-run: settle at the current
+		// trajectory so the new budget derives from real state, then
+		// re-arm against the new threshold (settleFast calls rearmFast,
+		// which reads the eVb just set).
+		s.settleFast()
+	}
 }
 
 // Vbackup returns the checkpoint threshold currently enforced by the
@@ -152,6 +196,12 @@ func (s *Simulator) probeReserve(newReserve float64) bool {
 	vb := s.cfg.Vbackup(newReserve)
 	if s.cfg.Von(vb) <= vb {
 		return false
+	}
+	if s.fastHot {
+		// Materialize the settled trajectory so the probe reads the
+		// same state the exact tier would (one sqrt, probe-rate only).
+		s.settleFast()
+		s.syncCapFromFast()
 	}
 	// Require some compute headroom above the raised threshold so the
 	// raise does not immediately trigger a checkpoint.
@@ -197,8 +247,16 @@ func (s *Simulator) Run(name string, program func(m isa.Machine) uint32) (res Re
 		s.cfg.Obs.VoltageMark(s.now, von)
 		s.bootTime = s.now
 	}
+	if s.fastEligible {
+		s.enterFast()
+	}
 
 	sum := program(s)
+	if s.fastHot {
+		// Hand authority back to the voltage-space capacitor before the
+		// final flush (and before anyone inspects it post-run).
+		s.exitFast()
+	}
 	s.res.Checksum = sum
 	s.res.ExecTime = s.now
 
@@ -243,8 +301,12 @@ func (s *Simulator) Load32(addr uint32) uint32 {
 	if s.cfg.Obs.WantsOpContext() {
 		s.cfg.Obs.OpContext(memOpPC())
 	}
-	v := s.access(isa.OpLoad, addr, 0)
+	// Counted before the access so the fast tier's settle — which can
+	// run inside access and derives Instructions from Loads + Stores +
+	// retired compute blocks — sees the completing event (the order is
+	// invisible to the exact tier; nothing reads Loads mid-event).
 	s.res.Loads++
+	v := s.access(isa.OpLoad, addr, 0)
 	if s.cfg.CheckInvariants {
 		if g := s.golden.Read(addr); g != v {
 			s.abort(fmt.Errorf("load %#x returned %#x, architectural value is %#x (design %s): %w",
@@ -262,13 +324,17 @@ func (s *Simulator) Store32(addr uint32, v uint32) {
 	if s.trackGolden {
 		s.golden.Write(addr, v)
 	}
+	s.res.Stores++ // before the access; see Load32
 	s.access(isa.OpStore, addr, v)
-	s.res.Stores++
 }
 
 // Compute accounts for n ALU instructions, checking the voltage
 // monitor every ComputeChunk instructions.
 func (s *Simulator) Compute(n int) {
+	if s.fastHot {
+		s.computeFast(n)
+		return
+	}
 	if n < 0 {
 		s.abort(fmt.Errorf("negative Compute(%d)", n))
 	}
@@ -300,11 +366,22 @@ func (s *Simulator) access(op isa.Op, addr uint32, val uint32) uint32 {
 	var v uint32
 	var done int64
 	eb := &s.ebScratch
-	*eb = energy.Breakdown{}
 	if s.accessEB != nil {
+		// The fast tier accumulates events in the scratch between
+		// settles (designs accumulate with +=); the exact tier zeroes it
+		// per event.
+		if !s.fastHot {
+			*eb = energy.Breakdown{}
+		}
 		v, done = s.accessEB.AccessEB(s.now, op, addr, val, eb)
 	} else {
-		v, done, *eb = s.design.Access(s.now, op, addr, val)
+		var one energy.Breakdown
+		v, done, one = s.design.Access(s.now, op, addr, val)
+		if s.fastHot {
+			eb.Add(one)
+		} else {
+			*eb = one
+		}
 	}
 	end := s.now + s.perInstrPS
 	if done > end {
@@ -312,6 +389,10 @@ func (s *Simulator) access(op isa.Op, addr uint32, val uint32) uint32 {
 	}
 	eb.Compute += s.cfg.InstrEnergy
 	eb.CacheRead += s.instrE
+	if s.fastHot {
+		s.accessTail(end)
+		return v
+	}
 	s.advance(end, eb, &s.res.OnTime)
 	s.res.Instructions++
 	s.checkPower()

@@ -47,8 +47,8 @@ func xtime(b byte) byte {
 
 func rotb(b byte, n uint) byte { return b<<n | b>>(8-n) }
 
-// gmul multiplies in GF(2^8) by repeated xtime (as the C code does).
-func gmul(a, b byte) byte {
+// gmulSlow multiplies in GF(2^8) by repeated xtime (as the C code does).
+func gmulSlow(a, b byte) byte {
 	var p byte
 	for i := 0; i < 8; i++ {
 		if b&1 != 0 {
@@ -58,6 +58,27 @@ func gmul(a, b byte) byte {
 		b >>= 1
 	}
 	return p
+}
+
+// gmulTab caches gmulSlow for the small constant multipliers MixColumns
+// uses (2,3 and 9,11,13,14). gmul is host-side arithmetic only — the
+// simulated instruction cost is charged via Env.Compute at the call
+// sites — so the table changes no simulated outcome, just host time.
+var gmulTab [256][16]byte
+
+func init() {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 16; b++ {
+			gmulTab[a][b] = gmulSlow(byte(a), byte(b))
+		}
+	}
+}
+
+func gmul(a, b byte) byte {
+	if b < 16 {
+		return gmulTab[a][b]
+	}
+	return gmulSlow(a, b)
 }
 
 // aesContext holds the simulated-memory tables: sbox, inverse sbox
